@@ -1,0 +1,87 @@
+"""Ablation: the BER under *feature*-side quality issues.
+
+The paper restricts its experiments to label noise but argues the BER
+implicitly quantifies every data-quality dimension.  This ablation
+checks that claim on the simulator, where the feature-noise BER has a
+closed-form-quality reference: latent Gaussian noise turns the mixture's
+within-class std from s to sqrt(s^2 + t^2), so the true BER evolution is
+computable, and Snoopy's estimate must track it.
+
+Also covered: missing features (mean imputation), where no closed form
+exists — the estimate must still increase monotonically with the
+missing fraction.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.datasets.synthetic import GaussianMixtureTask
+from repro.estimators.cover_hart import OneNNEstimator
+from repro.noise.features import (
+    ber_after_latent_feature_noise,
+    inject_feature_noise,
+    inject_missing_features,
+)
+from repro.reporting.tables import render_table
+
+NOISE_STDS = (0.0, 0.5, 1.0, 2.0)
+MISSING_FRACTIONS = (0.0, 0.2, 0.4, 0.6)
+
+
+def _run():
+    # A clutter-free task so latent noise maps directly onto raw noise.
+    task = GaussianMixtureTask(
+        num_classes=5, latent_dim=4, class_sep=3.0, clutter_dim=0, seed=3
+    )
+    dataset = task.sample_dataset(1500, 500, rng=0)
+    estimator = OneNNEstimator()
+    rows = []
+    tracked = {"theory": [], "estimate": []}
+    for std in NOISE_STDS:
+        theory = ber_after_latent_feature_noise(
+            task.class_means(), task.within_std, std, num_monte_carlo=60_000
+        )
+        # Raw features are an isometry of the latent here, so raw-space
+        # noise of the same std realizes the latent noise model.
+        train = inject_feature_noise(dataset.train_x, std, rng=1)
+        test = inject_feature_noise(dataset.test_x, std, rng=2)
+        estimate = estimator.estimate(
+            train.noisy_features, dataset.train_y,
+            test.noisy_features, dataset.test_y, task.num_classes,
+        ).value
+        tracked["theory"].append(theory)
+        tracked["estimate"].append(estimate)
+        rows.append(["gauss", std, round(theory, 4), round(estimate, 4)])
+    missing_estimates = []
+    for fraction in MISSING_FRACTIONS:
+        train = inject_missing_features(dataset.train_x, fraction, rng=1)
+        test = inject_missing_features(dataset.test_x, fraction, rng=2)
+        estimate = estimator.estimate(
+            train.noisy_features, dataset.train_y,
+            test.noisy_features, dataset.test_y, task.num_classes,
+        ).value
+        missing_estimates.append(estimate)
+        rows.append(["missing", fraction, "", round(estimate, 4)])
+    return rows, tracked, missing_estimates
+
+
+def test_ablation_feature_noise(benchmark):
+    rows, tracked, missing_estimates = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["corruption", "level", "true BER (theory)", "1NN estimate"],
+        rows,
+        title="Ablation: BER under feature-side quality issues",
+    )
+    write_result("ablation_feature_noise", text)
+    theory = np.array(tracked["theory"])
+    estimate = np.array(tracked["estimate"])
+    # Both rise monotonically with the noise scale.
+    assert np.all(np.diff(theory) > 0)
+    assert np.all(np.diff(estimate) > 0)
+    # The estimate tracks the theoretical evolution within a moderate
+    # finite-sample margin at every level.
+    assert np.all(np.abs(estimate - theory) < 0.12)
+    # Missing features degrade the task monotonically too.
+    assert missing_estimates[0] < missing_estimates[-1]

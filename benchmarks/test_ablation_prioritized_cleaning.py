@@ -1,0 +1,74 @@
+"""Ablation: random vs prioritized (disagreement-first) cleaning order.
+
+DESIGN.md calls out cleaning order as a design choice: the paper cleans
+uniformly at random, while its data-centric-AI discussion suggests the
+1NN structure can guide cleaning.  This ablation measures the precision
+of each order — the fraction of examined labels that were actually wrong
+— at increasing cleaning budgets, on a 30%-noisy CIFAR10 analogue.
+
+Shape expected: prioritized precision starts far above the noise rate
+(the random-order baseline) and decays as the suspicious pool empties,
+while random-order precision stays flat at the noise rate.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.cleaning.prioritized import (
+    PrioritizedCleaningSession,
+    precision_at_fraction,
+)
+from repro.cleaning.simulator import CleaningSession
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.reporting.tables import render_table
+
+FRACTIONS = (0.1, 0.2, 0.3)
+NOISE = 0.3
+
+
+def _run(cifar10, catalog):
+    noisy = make_noisy_dataset(cifar10, NOISE, rng=0)
+    noise_rate = noisy.label_noise_rate()
+    embedding = catalog[catalog.names[-1]]
+    rows = []
+    precisions = {"random": [], "prioritized": []}
+    random_session = CleaningSession(noisy, rng=0)
+    prioritized_session = PrioritizedCleaningSession(
+        noisy, transform=embedding, rng=0
+    )
+    for fraction in FRACTIONS:
+        _, random_precision = precision_at_fraction(random_session, fraction)
+        _, prioritized_precision = precision_at_fraction(
+            prioritized_session, fraction
+        )
+        precisions["random"].append(random_precision)
+        precisions["prioritized"].append(prioritized_precision)
+        rows.append([
+            f"{100 * fraction:.0f}%",
+            round(random_precision, 3),
+            round(prioritized_precision, 3),
+            round(prioritized_precision / max(random_precision, 1e-9), 2),
+        ])
+    return rows, precisions, noise_rate
+
+
+def test_ablation_prioritized_cleaning(benchmark, cifar10, cifar10_catalog):
+    rows, precisions, noise_rate = benchmark.pedantic(
+        _run, args=(cifar10, cifar10_catalog), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["budget", "random precision", "prioritized precision", "gain"],
+        rows,
+        title=(
+            f"Ablation: cleaning-order precision (realized noise "
+            f"{100 * noise_rate:.1f}%)"
+        ),
+    )
+    write_result("ablation_prioritized_cleaning", text)
+    random_mean = np.mean(precisions["random"])
+    # Random order fixes labels at roughly the noise rate.
+    assert abs(random_mean - noise_rate) < 0.1
+    # Prioritized order at least doubles the first-pass precision.
+    assert precisions["prioritized"][0] > 2 * precisions["random"][0]
+    # Prioritized precision decays as the suspicious pool empties.
+    assert precisions["prioritized"][0] >= precisions["prioritized"][-1]

@@ -1,0 +1,98 @@
+"""Figure 12: runtime of selection strategies (SH, SH+tangent, uniform,
+perfect), plus the batch-size ablation of Section V.
+
+Strategies are compared on both real wall-clock time (the pytest
+benchmark below measures the tangent variant, the paper's default) and
+on the simulated inference cost to reach an estimate within 1% of the
+full evaluation's value.  Shape to reproduce: perfect < SH+tangent <=
+SH < uniform <= full in cost, with every adaptive strategy selecting the
+same winning transformation as the exhaustive run.
+"""
+
+from conftest import write_result
+
+from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.reporting.tables import render_table
+
+STRATEGIES = ("full", "uniform", "successive_halving",
+              "successive_halving_tangent")
+
+
+def _run_all(cifar100, catalog):
+    results = {}
+    full_report = Snoopy(
+        catalog, SnoopyConfig(strategy="full", seed=0)
+    ).run(cifar100, 0.99)
+    results["full"] = full_report
+    for strategy in STRATEGIES[1:]:
+        results[strategy] = Snoopy(
+            catalog, SnoopyConfig(strategy=strategy, seed=0)
+        ).run(cifar100, 0.99)
+    results["perfect"] = Snoopy(
+        catalog,
+        SnoopyConfig(
+            strategy="perfect", perfect_arm_name=full_report.best_transform,
+            seed=0,
+        ),
+    ).run(cifar100, 0.99)
+    return results
+
+
+def _batch_size_ablation(cifar100, catalog):
+    rows = []
+    for fraction in (0.01, 0.02, 0.05):
+        pull = max(8, int(fraction * cifar100.num_train))
+        report = Snoopy(
+            catalog,
+            SnoopyConfig(
+                strategy="successive_halving_tangent", pull_size=pull, seed=0
+            ),
+        ).run(cifar100, 0.99)
+        rows.append([
+            f"{100 * fraction:g}%", pull,
+            round(report.ber_estimate, 4),
+            round(report.total_sim_cost_seconds, 3),
+        ])
+    return rows
+
+
+def test_fig12_strategies(benchmark, cifar100, cifar100_catalog):
+    results = benchmark.pedantic(
+        _run_all, args=(cifar100, cifar100_catalog), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            round(report.ber_estimate, 4),
+            report.best_transform,
+            round(report.total_sim_cost_seconds, 3),
+            round(report.wall_seconds, 3),
+        ]
+        for name, report in results.items()
+    ]
+    rows += [["---", "", "", "", ""]]
+    ablation = _batch_size_ablation(cifar100, cifar100_catalog)
+    rows += [["batch " + r[0], r[2], "", r[3], ""] for r in ablation]
+    text = render_table(
+        ["strategy", "estimate", "winner", "sim cost s", "wall s"],
+        rows,
+        title="Figure 12: selection strategies + batch-size ablation (CIFAR100)",
+    )
+    write_result("fig12_selection_strategies", text)
+    full = results["full"]
+    # Cost ordering: perfect < tangent <= SH < uniform-at-same-budget
+    # <= full evaluation.
+    assert results["perfect"].total_sim_cost_seconds < (
+        results["successive_halving_tangent"].total_sim_cost_seconds
+    )
+    assert results["successive_halving_tangent"].total_sim_cost_seconds <= (
+        results["successive_halving"].total_sim_cost_seconds + 1e-9
+    )
+    assert results["successive_halving"].total_sim_cost_seconds < (
+        full.total_sim_cost_seconds
+    )
+    # Adaptive strategies find the same winner as the exhaustive run and
+    # land within 1% of its estimate.
+    for name in ("successive_halving", "successive_halving_tangent"):
+        assert results[name].best_transform == full.best_transform, name
+        assert abs(results[name].ber_estimate - full.ber_estimate) <= 0.01

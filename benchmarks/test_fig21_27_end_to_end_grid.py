@@ -1,0 +1,82 @@
+"""Figures 21-27: the end-to-end use case over the remaining grid cells.
+
+The appendix repeats the Figure 9/10 experiment across datasets (CIFAR10,
+IMDB, ...) and label-cost regimes (free/cheap/expensive).  This benchmark
+covers a representative sub-grid — two datasets x {free, expensive} — and
+asserts the appendix's summary: "we observe similar results on all
+datasets for a wide range of initial noise levels and target accuracies."
+"""
+
+from conftest import write_result
+
+from repro.baselines.finetune import FineTuneBaseline
+from repro.cleaning.workflow import run_end_to_end
+from repro.reporting.tables import render_table
+
+CELLS = (
+    # (dataset fixture key, regime, noise, target)
+    ("cifar10", "free", 0.4, 0.85),
+    ("cifar10", "expensive", 0.4, 0.85),
+    ("imdb", "free", 0.4, 0.80),
+    ("imdb", "expensive", 0.4, 0.80),
+)
+
+
+def _run(datasets):
+    rows = []
+    checks = []
+    for key, regime, noise, target in CELLS:
+        dataset, catalog = datasets[key]
+        trainer = FineTuneBaseline(
+            catalog, learning_rates=(0.05,), num_epochs=12, seed=0
+        )
+        outcome = run_end_to_end(
+            dataset, trainer, catalog,
+            noise_rho=noise, target_accuracy=target, label_regime=regime,
+            step_fractions=(0.01, 0.50), include_lr=False, seed=0,
+        )
+        for name, trace in sorted(outcome.traces.items()):
+            rows.append([
+                key, regime, name,
+                "yes" if trace.reached_target else "no",
+                round(trace.total_dollars, 3),
+                round(trace.final_fraction_examined, 3),
+                trace.num_expensive_runs,
+            ])
+        checks.append((key, regime, outcome))
+    return rows, checks
+
+
+def test_fig21_27_grid(benchmark, cifar10, cifar10_catalog, imdb, imdb_catalog):
+    datasets = {
+        "cifar10": (cifar10, cifar10_catalog),
+        "imdb": (imdb, imdb_catalog),
+    }
+    rows, checks = benchmark.pedantic(
+        _run, args=(datasets,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["dataset", "regime", "strategy", "reached", "total $",
+         "fraction examined", "expensive runs"],
+        rows,
+        title="Figures 21-27: end-to-end grid (datasets x label regimes)",
+    )
+    write_result("fig21_27_end_to_end_grid", text)
+    for key, regime, outcome in checks:
+        snoopy = outcome.traces["fs_snoopy"]
+        fine_grained = outcome.traces["finetune_step_0.01"]
+        assert snoopy.reached_target, (key, regime)
+        assert snoopy.num_expensive_runs <= fine_grained.num_expensive_runs, (
+            key, regime,
+        )
+        if regime == "free":
+            # Compute-dominated: the study wins by a wide margin.
+            assert snoopy.total_dollars < 0.5 * fine_grained.total_dollars, (
+                key, regime,
+            )
+        else:
+            # Label-cost-dominated: the paper claims "little to no
+            # overhead compared to the baselines" — allow 10%.
+            assert snoopy.total_dollars <= 1.10 * fine_grained.total_dollars, (
+                key, regime,
+            )

@@ -1,0 +1,87 @@
+"""Figure 2: theoretical justification of the 1NN estimator vs scaled LR.
+
+Left panel: 1NN error and its Cover–Hart estimate for raw features and a
+strong transformation, as uniform label noise increases — the estimate
+must track the known BER evolution (Lemma 2.1) roughly linearly and stay
+at or above it (Condition 8 regime).
+
+Right panel: the strawman — a logistic-regression error, either scaled
+by a constant (0.8) or plugged into Eq. 2 — falls *below* the true BER
+at moderate noise: the worst-case regime the paper warns about.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.baselines.logistic_regression import SoftmaxRegression
+from repro.baselines.proxy import constant_downscale, plug_into_cover_hart
+from repro.estimators.cover_hart import cover_hart_lower_bound
+from repro.knn.brute_force import BruteForceKNN
+from repro.noise.models import inject_uniform_noise
+from repro.noise.theory import ber_after_uniform_noise
+from repro.reporting.series import FigureData
+
+RHOS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def _run(cifar10, cifar10_catalog):
+    best = cifar10_catalog[cifar10_catalog.names[-1]]  # strongest embedding
+    train_raw, test_raw = cifar10.train_x, cifar10.test_x
+    train_emb = best.transform(cifar10.train_x)
+    test_emb = best.transform(cifar10.test_x)
+    figure = FigureData(
+        "fig2", "1NN estimator vs scaled-LR strawman under label noise",
+        "noise rho", "value",
+    )
+    curves = {k: [] for k in (
+        "true_ber", "1nn_error_raw", "1nn_estimate_raw", "1nn_error_emb",
+        "1nn_estimate_emb", "lr_error", "lr_scaled_0.8", "lr_normalized",
+    )}
+    rng = np.random.default_rng(0)
+    for rho in RHOS:
+        train_n = inject_uniform_noise(cifar10.train_y, rho, 10, rng=rng)
+        test_n = inject_uniform_noise(cifar10.test_y, rho, 10, rng=rng)
+        curves["true_ber"].append(
+            ber_after_uniform_noise(cifar10.true_ber, rho, 10)
+        )
+        err_raw = (
+            BruteForceKNN()
+            .fit(train_raw, train_n.noisy_labels)
+            .error(test_raw, test_n.noisy_labels)
+        )
+        err_emb = (
+            BruteForceKNN()
+            .fit(train_emb, train_n.noisy_labels)
+            .error(test_emb, test_n.noisy_labels)
+        )
+        curves["1nn_error_raw"].append(err_raw)
+        curves["1nn_estimate_raw"].append(cover_hart_lower_bound(err_raw, 10))
+        curves["1nn_error_emb"].append(err_emb)
+        curves["1nn_estimate_emb"].append(cover_hart_lower_bound(err_emb, 10))
+        lr = SoftmaxRegression(learning_rate=0.1, num_epochs=8, seed=0).fit(
+            train_emb, train_n.noisy_labels, 10
+        )
+        lr_err = lr.error(test_emb, test_n.noisy_labels)
+        curves["lr_error"].append(lr_err)
+        curves["lr_scaled_0.8"].append(constant_downscale(lr_err, 1.25))
+        curves["lr_normalized"].append(plug_into_cover_hart(lr_err, 10))
+    for label, values in curves.items():
+        figure.add(label, np.array(RHOS), np.array(values))
+    return figure
+
+
+def test_fig2(benchmark, cifar10, cifar10_catalog):
+    figure = benchmark.pedantic(
+        _run, args=(cifar10, cifar10_catalog), rounds=1, iterations=1
+    )
+    write_result("fig2_justification", figure.to_text())
+    truth = figure.get("true_ber").y
+    est_emb = figure.get("1nn_estimate_emb").y
+    # Left panel shape: the embedding estimate rises with noise and never
+    # exceeds the 1NN error.
+    assert np.all(np.diff(est_emb) > 0)
+    assert np.all(est_emb <= figure.get("1nn_error_emb").y + 1e-12)
+    # Right panel shape: a good LR's normalized error underestimates the
+    # true BER at moderate-to-high noise (the worst-case regime).
+    lr_normalized = figure.get("lr_normalized").y
+    assert np.any(lr_normalized[2:] < truth[2:] - 0.02)

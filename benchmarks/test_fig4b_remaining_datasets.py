@@ -1,0 +1,67 @@
+"""Figure 4 (continued): the remaining paper datasets (MNIST, SST2, YELP).
+
+Completes the Figure 4 coverage at reduced scale: the same
+Snoopy-vs-LR-proxy comparison and noise-evolution check on the three
+datasets not covered by ``test_fig4_synthetic_noise.py``.
+"""
+
+from conftest import write_result
+
+from repro.baselines.logistic_regression import LogisticRegressionBaseline
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.datasets import load
+from repro.noise.theory import expected_sota_increase_uniform
+from repro.reporting.tables import render_table
+from repro.transforms.catalog import catalog_for
+
+DATASETS = ("mnist", "sst2", "yelp")
+RHOS = (0.0, 0.2, 0.4)
+SCALE = 0.008
+
+
+def _run():
+    rows = []
+    checks = []
+    for name in DATASETS:
+        dataset = load(name, scale=SCALE, seed=0)
+        catalog = catalog_for(dataset, seed=0, max_embeddings=5)
+        catalog.fit(dataset.train_x)
+        series = []
+        for rho in RHOS:
+            noisy = make_noisy_dataset(dataset, rho, rng=0) if rho else dataset
+            report = Snoopy(catalog, SnoopyConfig(seed=0)).run(noisy, 0.99)
+            lr = LogisticRegressionBaseline(
+                catalog, num_epochs=4, seed=0,
+                learning_rates=(0.1,), l2_values=(0.0,),
+            ).run(noisy)
+            reference = expected_sota_increase_uniform(
+                dataset.sota_error, rho, dataset.num_classes
+            )
+            rows.append([
+                name, rho, round(report.ber_estimate, 4),
+                round(report.total_sim_cost_seconds, 2),
+                round(lr.best_error, 4), round(lr.sim_cost_seconds, 2),
+                round(reference, 4),
+            ])
+            series.append((report, lr))
+        checks.append((name, series))
+    return rows, checks
+
+
+def test_fig4_remaining(benchmark):
+    rows, checks = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["dataset", "rho", "snoopy est", "snoopy cost", "lr err",
+         "lr cost", "expected SOTA+noise"],
+        rows,
+        title="Figure 4 (cont.): MNIST / SST2 / YELP",
+    )
+    write_result("fig4b_remaining_datasets", text)
+    for name, series in checks:
+        estimates = [report.ber_estimate for report, _ in series]
+        # Monotone in noise on every dataset.
+        assert estimates[0] < estimates[1] < estimates[2], name
+        for report, lr in series:
+            assert report.ber_estimate <= lr.best_error + 0.05, name
+            assert report.total_sim_cost_seconds < lr.sim_cost_seconds, name

@@ -1,0 +1,74 @@
+"""Figure 7: convergence plots with targets (CIFAR100, 20% and 40% noise).
+
+For a fixed strong embedding, the 1NN estimate is tracked against the
+number of training samples under two noise levels, and two target
+accuracies are tested per level: the noise level itself (only reachable
+if the clean BER were zero) and noise + 10%.  Shape to reproduce: the
+looser target is flagged reachable with a modest extrapolated sample
+count; the tight target requires an extrapolation far beyond the data
+and is flagged untrustworthy (Eq. 10's caveat).
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.core.guidance import extrapolate_samples_needed
+from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.reporting.series import FigureData
+
+RHOS = (0.2, 0.4)
+
+
+def _run(cifar100, catalog):
+    figure = FigureData(
+        "fig7", "CIFAR100 convergence with targets", "train samples",
+        "estimate",
+    )
+    outcomes = []
+    for rho in RHOS:
+        noisy = make_noisy_dataset(cifar100, rho, rng=0)
+        config = SnoopyConfig(strategy="full", seed=0)
+        report = Snoopy(catalog, config).run(noisy, 0.99)
+        curve = report.curves[report.best_transform]
+        figure.add(f"rho={rho}", curve.sizes, curve.estimates)
+        noise_rate = rho * (1 - 1 / cifar100.num_classes)
+        for target_error, label in (
+            (noise_rate, "tight"),
+            (noise_rate + 0.10, "loose"),
+        ):
+            extrapolation = extrapolate_samples_needed(
+                curve.transform_name, curve.sizes, curve.errors, target_error
+            )
+            outcomes.append((rho, label, extrapolation))
+    return figure, outcomes
+
+
+def test_fig7(benchmark, cifar100, cifar100_catalog):
+    figure, outcomes = benchmark.pedantic(
+        _run, args=(cifar100, cifar100_catalog), rounds=1, iterations=1
+    )
+    lines = [figure.to_text()]
+    for rho, label, extrapolation in outcomes:
+        lines.append(
+            f"rho={rho} target={label}: required n ~ "
+            f"{extrapolation.required_samples:,.0f} "
+            f"(trustworthy: {extrapolation.trustworthy})"
+        )
+    write_result("fig7_convergence_targets", "\n".join(lines))
+    # Curves decrease with data and the noisier curve sits higher.
+    lo = figure.get("rho=0.2").y
+    hi = figure.get("rho=0.4").y
+    assert hi[-1] > lo[-1]
+    assert lo[-1] <= lo[0] + 1e-9
+    # The tight target demands far more samples than the loose one.
+    by_key = {(rho, label): e for rho, label, e in outcomes}
+    for rho in RHOS:
+        tight = by_key[(rho, "tight")].required_samples
+        loose = by_key[(rho, "loose")].required_samples
+        assert tight > loose
+    # At least one tight target is flagged untrustworthy (the paper's
+    # 16M/84M-samples caution).
+    assert any(
+        not by_key[(rho, "tight")].trustworthy for rho in RHOS
+    )

@@ -1,0 +1,63 @@
+"""Figure 8: accuracy of the Eq. 10 extrapolation from subsampled data.
+
+For increasing fractions of the training data, the log-linear fit
+predicts the estimate at the full dataset size; the figure reports the
+difference between prediction and the actually measured full-data value.
+Shape to reproduce: the extrapolation error shrinks as the fraction
+grows (left panel), and the 5%-fraction fit already lands within a few
+points of the truth for a strong embedding (right panel's message).
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.core.guidance import fit_log_linear
+from repro.knn.progressive import ProgressiveOneNN
+from repro.reporting.series import FigureData
+
+FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.7)
+
+
+def _run(cifar100, catalog):
+    noisy = make_noisy_dataset(cifar100, 0.2, rng=0)
+    embedding = catalog[catalog.names[-1]]
+    train_f = embedding.transform(noisy.train_x)
+    test_f = embedding.transform(noisy.test_x)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(train_f))
+    evaluator = ProgressiveOneNN(test_f, noisy.test_y)
+    # A fine-grained measured curve over the full data.
+    step = max(16, len(train_f) // 24)
+    consumed = 0
+    while consumed < len(train_f):
+        chunk = order[consumed : consumed + step]
+        evaluator.partial_fit(train_f[chunk], noisy.train_y[chunk])
+        consumed += len(chunk)
+    sizes, errors = evaluator.curve_arrays()
+    full_error = errors[-1]
+    figure = FigureData(
+        "fig8", "extrapolation accuracy vs subsample fraction",
+        "fraction", "|predicted - measured| at full size",
+    )
+    deviations = []
+    for fraction in FRACTIONS:
+        cutoff = fraction * len(train_f)
+        mask = sizes <= max(cutoff, sizes[2])
+        fit = fit_log_linear(sizes[mask], np.maximum(errors[mask], 1e-4))
+        predicted = fit.predict_error(len(train_f))
+        deviations.append(abs(predicted - full_error))
+    figure.add("deviation", np.array(FRACTIONS), np.array(deviations))
+    figure.notes.append(f"measured full-data error: {full_error:.4f}")
+    return figure, deviations, full_error
+
+
+def test_fig8(benchmark, cifar100, cifar100_catalog):
+    figure, deviations, full_error = benchmark.pedantic(
+        _run, args=(cifar100, cifar100_catalog), rounds=1, iterations=1
+    )
+    write_result("fig8_extrapolation", figure.to_text())
+    # More data -> better extrapolation (compare smallest vs largest).
+    assert deviations[-1] <= deviations[0] + 0.02
+    # The late-fraction fit is close to the measured truth.
+    assert deviations[-1] < 0.12

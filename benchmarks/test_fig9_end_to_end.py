@@ -1,0 +1,82 @@
+"""Figures 9 (cheap labels) — CIFAR100 end-to-end cleaning use case.
+
+The full interaction grid on the CIFAR100 analogue with cheap labels:
+fixed-step fine-tuning (1/5/10/50% steps) versus feasibility-study-guided
+loops (Snoopy and the LR proxy).
+
+Shape to reproduce (paper's Key Findings I & II): a feasibility study
+reduces total dollar cost versus retraining the expensive model at every
+step; Snoopy's loop is no more expensive than the LR-guided loop; small
+fixed steps overspend on compute and large fixed steps overspend on
+labels.
+"""
+
+from conftest import write_result
+
+from repro.baselines.finetune import FineTuneBaseline
+from repro.cleaning.workflow import run_end_to_end
+from repro.reporting.tables import render_table
+
+NOISE = 0.4
+TARGET = 0.80
+
+
+def _run(cifar100, catalog):
+    trainer = FineTuneBaseline(
+        catalog, learning_rates=(0.05,), num_epochs=12, seed=0
+    )
+    outcome = run_end_to_end(
+        cifar100, trainer, catalog,
+        noise_rho=NOISE, target_accuracy=TARGET, label_regime="cheap",
+        step_fractions=(0.01, 0.05, 0.10, 0.50), include_lr=True,
+        seed=0,
+    )
+    return outcome
+
+
+def _rows(outcome):
+    rows = []
+    for name, trace in sorted(outcome.traces.items()):
+        rows.append([
+            name,
+            "yes" if trace.reached_target else "no",
+            round(trace.total_dollars, 3),
+            round(trace.final_fraction_examined, 3),
+            trace.num_expensive_runs,
+        ])
+    return rows
+
+
+def test_fig9_cheap_labels(benchmark, cifar100, cifar100_catalog):
+    outcome = benchmark.pedantic(
+        _run, args=(cifar100, cifar100_catalog), rounds=1, iterations=1
+    )
+    rows = _rows(outcome)
+    text = render_table(
+        ["strategy", "reached", "total $", "fraction examined",
+         "expensive runs"],
+        rows,
+        title=(
+            f"Figure 9: CIFAR100 end-to-end, cheap labels "
+            f"(rho={NOISE}, target={TARGET}, min fraction "
+            f"{outcome.min_fraction_to_target:.2f})"
+        ),
+    )
+    write_result("fig9_end_to_end_cheap", text)
+    traces = outcome.traces
+    assert traces["fs_snoopy"].reached_target
+    # Feasibility study beats the finest fixed-step baseline on dollars.
+    assert (
+        traces["fs_snoopy"].total_dollars
+        < traces["finetune_step_0.01"].total_dollars
+    )
+    # And triggers far fewer expensive runs.
+    assert (
+        traces["fs_snoopy"].num_expensive_runs
+        < traces["finetune_step_0.01"].num_expensive_runs
+    )
+    # Snoopy's study loop is no pricier than the LR-guided loop.
+    assert (
+        traces["fs_snoopy"].total_dollars
+        <= traces["fs_lr"].total_dollars + 0.05
+    )

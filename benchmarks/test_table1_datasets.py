@@ -1,0 +1,48 @@
+"""Table I: datasets and SOTA performances, plus analogue calibration.
+
+Regenerates the paper's dataset table and extends it with the synthetic
+analogue's calibrated clean BER, verifying the calibration invariant
+(clean BER ~ half the published SOTA error) that underpins every other
+experiment.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.datasets import DATASET_SPECS, dataset_names, load
+from repro.reporting.tables import render_table
+
+
+def _build_table():
+    rows = []
+    for name in dataset_names():
+        spec = DATASET_SPECS[name]
+        dataset = load(name, scale=BENCH_SCALE, seed=0)
+        rows.append([
+            name,
+            spec.num_classes,
+            f"{spec.paper_train // 1000}K / {spec.paper_test // 1000}K",
+            f"{100 * spec.sota_error:.2f}",
+            dataset.num_train,
+            dataset.num_test,
+            f"{100 * dataset.true_ber:.3f}",
+        ])
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    text = render_table(
+        [
+            "dataset", "classes", "paper train/test", "SOTA err %",
+            "sim train", "sim test", "calibrated clean BER %",
+        ],
+        rows,
+        title="Table I: datasets, SOTA performances and analogue calibration",
+    )
+    write_result("table1_datasets", text)
+    assert len(rows) == 6
+    for row in rows:
+        spec = DATASET_SPECS[row[0]]
+        ber = float(row[6]) / 100
+        # Calibration target: half the SOTA error, within tolerance.
+        assert abs(ber - 0.5 * spec.sota_error) <= 0.5 * spec.sota_error

@@ -1,0 +1,65 @@
+"""Drift-aware feasibility monitoring on a data stream.
+
+Implements the paper's Future Extension sketch: a windowed BER estimator
+over a stream detects when the *task itself* gets harder — here, a
+labeling source degrading mid-stream — without training or monitoring
+any model.
+
+Run:  python examples/drift_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core.drift import (
+    DriftAwareMonitor,
+    PageHinkleyDetector,
+    SlidingWindowBER,
+)
+from repro.datasets.synthetic import GaussianMixtureTask
+from repro.noise.models import inject_uniform_noise
+from repro.rng import ensure_rng
+
+
+def main() -> None:
+    task = GaussianMixtureTask(
+        num_classes=4, latent_dim=4, class_sep=3.0, clutter_dim=8, seed=5
+    )
+    rng = ensure_rng(0)
+    monitor = DriftAwareMonitor(
+        window=SlidingWindowBER(task.num_classes, window_size=512),
+        detector=PageHinkleyDetector(delta=0.02, threshold=0.3),
+        check_every=128,
+    )
+    print(f"task: C={task.num_classes}, clean BER {task.true_ber():.3f}")
+    print("phase 1: clean labeling source (2048 samples)")
+    raw, labels, _ = task.sample(2048, rng=rng)
+    monitor.observe(raw, labels)
+    print(f"  window estimate: {monitor.estimates[-1][1]:.3f}, "
+          f"alarms: {len(monitor.events)}")
+
+    print("phase 2: labeling source degrades to 50% uniform noise")
+    raw, labels, _ = task.sample(4096, rng=rng)
+    noisy = inject_uniform_noise(labels, 0.5, task.num_classes, rng=rng)
+    monitor.observe(raw, noisy.noisy_labels)
+
+    print("\nestimate trajectory (every 4th checkpoint):")
+    for seen, estimate in monitor.estimates[::4]:
+        bar = "#" * int(40 * estimate)
+        print(f"  n={seen:5d}  {estimate:.3f}  {bar}")
+    if monitor.events:
+        event = monitor.events[0]
+        delay = event.at_sample - 2048
+        print(
+            f"\nDRIFT detected at stream sample {event.at_sample} "
+            f"(delay {delay} samples after the onset), window estimate "
+            f"{event.ber_estimate:.3f}"
+        )
+        expected = task.true_ber() + 0.5 * (1 - 1 / task.num_classes
+                                            - task.true_ber())
+        print(f"Lemma 2.1 predicts the noisy BER at {expected:.3f}.")
+    else:
+        print("\nno drift detected (unexpected for this scenario)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""FeeBee protocol: comparing BER estimators on a known-BER task.
+
+Evaluates the full estimator zoo (Section II's three families) over a
+uniform label-noise series where the true BER evolution is known in
+closed form (Lemma 2.1), reproducing the comparison that motivated the
+paper's choice of the 1NN estimator.
+
+Run:  python examples/estimator_comparison.py
+"""
+
+from repro.datasets import load
+from repro.estimators import (
+    DeKNNEstimator,
+    GHPEstimator,
+    KDEEstimator,
+    KNNExtrapolationEstimator,
+    KNNLooEstimator,
+    OneNNEstimator,
+)
+from repro.feebee.evaluation import evaluate_estimator_over_noise
+from repro.reporting.tables import render_table
+from repro.transforms.catalog import catalog_for
+
+RHOS = (0.0, 0.2, 0.4, 0.6)
+
+
+def main() -> None:
+    dataset = load("cifar10", scale=0.02, seed=0)
+    catalog = catalog_for(dataset, seed=0, max_embeddings=6)
+    catalog.fit(dataset.train_x)
+    embedding = catalog[catalog.names[-1]]
+    print(f"dataset: {dataset}; embedding: {embedding.name}\n")
+
+    estimators = [
+        OneNNEstimator(),
+        KNNLooEstimator(k=5),
+        DeKNNEstimator(k=10),
+        KDEEstimator(),
+        GHPEstimator(max_points_per_class=150),
+        KNNExtrapolationEstimator(num_grid_points=5),
+    ]
+    rows = []
+    for estimator in estimators:
+        evaluation = evaluate_estimator_over_noise(
+            estimator, dataset, rhos=RHOS, transform=embedding, rng=0
+        )
+        rows.append([
+            evaluation.estimator_name,
+            *(f"{p.estimate:.3f}/{p.true_ber:.3f}" for p in evaluation.points),
+            f"{evaluation.mean_absolute_deviation():.4f}",
+            f"{evaluation.slope_fidelity():.3f}",
+        ])
+    print(render_table(
+        ["estimator", *(f"rho={r} (est/true)" for r in RHOS), "MAD", "slope"],
+        rows,
+        title="FeeBee noise-series evaluation (Lemma 2.1 ground truth)",
+    ))
+    print(
+        "\nThe 1NN estimator tracks the known evolution as well as any"
+        "\nalternative while being the cheapest to stream — the reason"
+        "\nSnoopy builds on it."
+    )
+
+
+if __name__ == "__main__":
+    main()

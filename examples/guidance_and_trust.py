@@ -1,0 +1,53 @@
+"""Additional guidance: convergence curves, extrapolation and trust.
+
+When Snoopy answers UNREALISTIC, the user needs to know *why*: not
+enough data, or a genuinely noisy task?  This example reproduces the
+Section IV-C / VI-C guidance on a noisy CIFAR100 analogue: the
+convergence curve of the winning embedding, the Eq. 10 log-linear fit,
+and the samples-needed extrapolation with its trustworthiness flag.
+
+Run:  python examples/guidance_and_trust.py
+"""
+
+from repro import Snoopy, SnoopyConfig
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.core.guidance import extrapolate_samples_needed
+from repro.datasets import load
+from repro.transforms.catalog import catalog_for
+
+
+def main() -> None:
+    dataset = load("cifar100", scale=0.02, seed=0)
+    catalog = catalog_for(dataset, seed=0, max_embeddings=6)
+    catalog.fit(dataset.train_x)
+    noisy = make_noisy_dataset(dataset, rho=0.2, rng=0)
+
+    report = Snoopy(
+        catalog, SnoopyConfig(strategy="full", seed=0)
+    ).run(noisy, target_accuracy=0.85)
+    print(report.summary())
+
+    curve = report.curves[report.best_transform]
+    print(f"\nconvergence of {curve.transform_name}:")
+    for size, error, estimate in zip(
+        curve.sizes, curve.errors, curve.estimates
+    ):
+        print(f"  n={int(size):5d}  1nn_error={error:.4f}  estimate={estimate:.4f}")
+
+    print("\nsamples-needed extrapolation (Eq. 10):")
+    for target_accuracy in (0.75, 0.82, 0.90):
+        extrapolation = extrapolate_samples_needed(
+            curve.transform_name, curve.sizes, curve.errors,
+            target_error=1.0 - target_accuracy,
+        )
+        print(f"  target {target_accuracy:.2f}: {extrapolation.describe()}")
+    print(
+        "\nRule of thumb from the paper: trust the extrapolated count"
+        "\nonly when it is close to the data you already have; Eq. 10"
+        "\nconverges to zero error, so any target eventually looks"
+        "\nreachable if you extrapolate far enough."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: is my target accuracy realistic for this dataset?
+
+Loads the CIFAR10 analogue, builds the Table III transformation catalog,
+and asks Snoopy two questions: a comfortable target and an impossible
+one (after polluting the labels).  Mirrors the system's intended
+interaction model (Section III of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Snoopy
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.datasets import load
+from repro.transforms.catalog import catalog_for
+
+
+def main() -> None:
+    # 1. A representative dataset for the task (synthetic CIFAR10
+    #    analogue with known ground-truth Bayes error).
+    dataset = load("cifar10", scale=0.02, seed=0)
+    print(f"dataset: {dataset}")
+    print(f"ground-truth clean BER: {dataset.true_ber:.4f}\n")
+
+    # 2. The transformation catalog (simulated pre-trained embeddings).
+    catalog = catalog_for(dataset, seed=0, max_embeddings=8)
+
+    # 3. Feasibility study for a sensible target.
+    system = Snoopy(catalog)
+    report = system.run(dataset, target_accuracy=0.95)
+    print(report.summary())
+    print()
+
+    # 4. Now pollute 40% of the labels and ask for near-perfection.
+    noisy = make_noisy_dataset(dataset, rho=0.4, rng=0)
+    report = Snoopy(catalog).run(noisy, target_accuracy=0.99)
+    print(report.summary())
+    print()
+    print(
+        "Per-transformation estimates (the minimum is Snoopy's answer):"
+    )
+    for name, value in sorted(
+        report.estimates_by_transform().items(), key=lambda kv: kv[1]
+    ):
+        marker = "  <-- selected" if name == report.best_transform else ""
+        print(f"  {name:24s} {value:.4f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

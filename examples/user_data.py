@@ -1,0 +1,71 @@
+"""Bringing your own data: arrays in, feasibility report out.
+
+The paper's target user holds a numeric feature matrix and labels.  This
+example shows the on-ramp: a stratified split via
+:func:`dataset_from_arrays`, a pluggable transformation catalog, JSON
+export of the report, and archiving the exact artefact with the dataset
+I/O helpers.
+
+Run:  python examples/user_data.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro import Snoopy
+from repro.datasets import load_dataset, save_dataset
+from repro.datasets.splits import dataset_from_arrays
+from repro.reporting.serialize import report_to_json
+from repro.transforms.linear import (
+    IdentityTransform,
+    PCATransform,
+    StandardizeTransform,
+)
+from repro.transforms.nca import NCATransform
+
+
+def make_user_data(seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Stand-in for the user's CSV: two informative dims + nuisance."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=900)
+    informative = labels[:, None] * 2.0 + rng.normal(size=(900, 2))
+    nuisance = rng.normal(scale=4.0, size=(900, 14))
+    return np.hstack([informative, nuisance]), labels
+
+
+def main() -> None:
+    features, labels = make_user_data()
+    dataset = dataset_from_arrays(
+        features, labels, name="customer_churn", test_fraction=0.25, rng=0
+    )
+    print(f"user dataset: {dataset}\n")
+
+    # A catalog of classical transforms; NCA is supervised, so it is
+    # fitted with labels by the system.
+    catalog = [
+        IdentityTransform(dataset.raw_dim),
+        StandardizeTransform(dataset.raw_dim),
+        PCATransform(4),
+        NCATransform(2, seed=0),
+    ]
+    report = Snoopy(catalog).run(dataset, target_accuracy=0.9)
+    print(report.summary())
+    print()
+    for name, value in sorted(
+        report.estimates_by_transform().items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {name:14s} estimate {value:.4f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = save_dataset(dataset, pathlib.Path(tmp) / "churn")
+        reloaded = load_dataset(archive)
+        print(f"\narchived to {archive.name} and reloaded: {reloaded}")
+        json_payload = report_to_json(report)
+        print(f"JSON report: {len(json_payload)} bytes "
+              f"(first line: {json_payload.splitlines()[1].strip()})")
+
+
+if __name__ == "__main__":
+    main()

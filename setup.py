@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on old pip/setuptools combinations requires
+``bdist_wheel``; this shim keeps ``python setup.py develop`` working as a
+fallback.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Reproduction of Snoopy: automatic feasibility study for ML via BER estimation.
+
+This package implements the system described in "Automatic Feasibility
+Study via Data Quality Analysis for ML: A Case-Study on Label Noise"
+(ICDE 2023).  The public surface is intentionally small:
+
+- :class:`repro.core.Snoopy` — the feasibility-study system itself.
+- :mod:`repro.datasets` — synthetic analogues of the paper's six datasets
+  (with known ground-truth Bayes error) plus the CIFAR-N noisy variants.
+- :mod:`repro.transforms` — the feature-transformation catalog (simulated
+  pre-trained embeddings, PCA, NCA, identity).
+- :mod:`repro.noise` — label-noise models and the closed-form BER
+  evolution results (Lemma 2.1, Theorem 3.1).
+- :mod:`repro.estimators` — the Bayes-error estimator zoo.
+- :mod:`repro.baselines` — logistic-regression proxy, AutoML simulator
+  and fine-tune analogue used in the paper's evaluation.
+- :mod:`repro.cleaning` — the end-to-end iterative label-cleaning use case.
+
+Quickstart::
+
+    from repro import Snoopy, datasets, transforms
+
+    dataset = datasets.load("cifar10", scale=0.1, seed=0)
+    catalog = transforms.vision_catalog(dataset, seed=0)
+    system = Snoopy(catalog)
+    report = system.run(dataset, target_accuracy=0.85)
+    print(report.signal, report.best_accuracy)
+"""
+
+from repro.core.result import (
+    BEREstimate,
+    ConvergenceCurve,
+    FeasibilityReport,
+    FeasibilitySignal,
+)
+from repro.core.snoopy import Snoopy, SnoopyConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BEREstimate",
+    "ConvergenceCurve",
+    "FeasibilityReport",
+    "FeasibilitySignal",
+    "Snoopy",
+    "SnoopyConfig",
+]

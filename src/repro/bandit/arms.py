@@ -1,0 +1,148 @@
+"""Transformation arms: streamed inference + incremental 1NN per embedding.
+
+An arm owns one feature transformation and a :class:`ProgressiveOneNN`
+evaluator bound to the transformed test set.  Pulling the arm embeds the
+next chunk of training samples (accruing simulated inference cost) and
+updates the exact 1NN test error.  Losses are the 1NN errors — lower is
+better — exactly the quantity successive halving ranks on.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.exceptions import BudgetError, DataValidationError
+from repro.knn.progressive import ProgressiveOneNN
+from repro.rng import SeedLike, ensure_rng
+from repro.transforms.base import FeatureTransform
+
+
+class TransformationArm:
+    """One bandit arm wrapping a transformation and its 1NN evaluator.
+
+    Parameters
+    ----------
+    transform:
+        A *fitted* :class:`FeatureTransform`.
+    train_x, train_y:
+        The full (pre-shuffled) training pool this arm may consume.
+    test_x, test_y:
+        Test split; embedded once, up front (test sets are small).
+    metric:
+        Distance metric for the 1NN evaluator.
+    """
+
+    def __init__(
+        self,
+        transform: FeatureTransform,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        test_x: np.ndarray,
+        test_y: np.ndarray,
+        metric: str = "euclidean",
+    ):
+        if not transform.fitted:
+            raise DataValidationError(
+                f"arm {transform.name!r}: transform must be fitted"
+            )
+        self.transform = transform
+        self._train_x = np.asarray(train_x, dtype=np.float64)
+        self._train_y = np.asarray(train_y, dtype=np.int64)
+        if len(self._train_x) == 0:
+            raise DataValidationError("arm needs a non-empty training pool")
+        embedded_test = transform.transform(np.asarray(test_x, dtype=np.float64))
+        self.evaluator = ProgressiveOneNN(embedded_test, test_y, metric=metric)
+        self.sim_cost = transform.inference_cost(len(test_y))
+        self.losses: list[float] = []
+        self.pull_sizes: list[int] = []
+
+    @property
+    def name(self) -> str:
+        return self.transform.name
+
+    @property
+    def samples_used(self) -> int:
+        return self.evaluator.train_seen
+
+    @property
+    def exhausted(self) -> bool:
+        return self.samples_used >= len(self._train_x)
+
+    @property
+    def current_loss(self) -> float:
+        """Latest 1NN error; infinity before the first pull."""
+        return self.losses[-1] if self.losses else np.inf
+
+    @property
+    def train_pool_size(self) -> int:
+        return len(self._train_x)
+
+    def pull(self, num_samples: int) -> float:
+        """Embed and ingest up to ``num_samples`` further training points.
+
+        Returns the updated 1NN error.  Pulling an exhausted arm re-reports
+        the current loss without cost, so allocation loops need no special
+        casing near the end of the pool.
+        """
+        if num_samples < 0:
+            raise BudgetError(f"num_samples must be >= 0, got {num_samples}")
+        start = self.samples_used
+        stop = min(start + num_samples, len(self._train_x))
+        if stop > start:
+            chunk_x = self.transform.transform(self._train_x[start:stop])
+            loss = self.evaluator.partial_fit(chunk_x, self._train_y[start:stop])
+            self.sim_cost += self.transform.inference_cost(stop - start)
+        else:
+            loss = self.current_loss
+        self.losses.append(loss)
+        self.pull_sizes.append(stop - start)
+        return loss
+
+    def loss_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(cumulative sample counts, losses) for convergence plots."""
+        return self.evaluator.curve_arrays()
+
+
+def build_arms(
+    transforms,
+    dataset,
+    metric: str = "euclidean",
+    rng: SeedLike = None,
+) -> list[TransformationArm]:
+    """Fit each transform on the training split and wrap it in an arm.
+
+    The training pool is shuffled once and shared (in the same order)
+    across arms so that all arms see identical sample sequences —
+    removing sampling noise from the arm comparison.
+    """
+    rng = ensure_rng(rng)
+    order = rng.permutation(dataset.num_train)
+    train_x = dataset.train_x[order]
+    train_y = dataset.train_y[order]
+    arms = []
+    for transform in transforms:
+        if not transform.fitted:
+            _fit_transform(transform, train_x, train_y)
+        arms.append(
+            TransformationArm(
+                transform,
+                train_x,
+                train_y,
+                dataset.test_x,
+                dataset.test_y,
+                metric=metric,
+            )
+        )
+    return arms
+
+
+def _fit_transform(
+    transform: FeatureTransform, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Fit a transform, passing labels only to supervised ones (NCA)."""
+    if "y" in inspect.signature(transform.fit).parameters:
+        transform.fit(x, y)
+    else:
+        transform.fit(x)

@@ -1,0 +1,58 @@
+"""The doubling trick: remove the budget hyper-parameter (cf. Section V).
+
+Successive halving needs a total budget up front.  Following Jamieson &
+Talwalkar (Section 3), running it with budget B, 2B, 4B, ... until the
+winner has consumed its full training pool eliminates the dependence on
+the initial choice at a constant-factor cost.  Arms keep their state
+between iterations, so no pulled sample is ever wasted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandit.arms import TransformationArm
+from repro.bandit.successive_halving import (
+    SelectionResult,
+    successive_halving,
+)
+from repro.exceptions import BudgetError
+
+
+def doubling_successive_halving(
+    arms: list[TransformationArm],
+    initial_budget: int | None = None,
+    pull_size: int = 64,
+    use_tangent: bool = False,
+    max_doublings: int = 20,
+) -> SelectionResult:
+    """Run successive halving with doubling budgets until the winner
+    exhausts its training pool.
+
+    ``initial_budget`` defaults to one ``pull_size`` chunk per arm per
+    round — the smallest budget Algorithm 1 accepts.
+    """
+    if not arms:
+        raise BudgetError("need at least one arm")
+    rounds = max(1, int(np.ceil(np.log2(len(arms)))))
+    budget = initial_budget or pull_size * len(arms) * rounds
+    result = successive_halving(
+        arms, budget, pull_size=pull_size, use_tangent=use_tangent
+    )
+    for _ in range(max_doublings):
+        if result.winner.exhausted:
+            break
+        budget *= 2
+        result = successive_halving(
+            arms, budget, pull_size=pull_size, use_tangent=use_tangent
+        )
+    result = SelectionResult(
+        winner=result.winner,
+        strategy=result.strategy + "_doubling",
+        total_samples=sum(arm.samples_used for arm in arms),
+        total_sim_cost=sum(arm.sim_cost for arm in arms),
+        samples_per_arm={arm.name: arm.samples_used for arm in arms},
+        round_survivors=result.round_survivors,
+        pruned_by_tangent=result.pruned_by_tangent,
+    )
+    return result

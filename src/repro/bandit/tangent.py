@@ -1,0 +1,50 @@
+"""Tangent-based lower bounds on 1NN convergence curves (Algorithm 2).
+
+Under mild assumptions the kNN error curve decreases as ``n^(-2/d)`` and
+is convex on average, so the tangent at the last known point is a lower
+bound on any future value of the curve.  The paper approximates the
+tangent by the secant through the last two known points; the same
+approximation is used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+
+def tangent_lower_bound(
+    sizes: np.ndarray | list[int],
+    losses: np.ndarray | list[float],
+    target_size: int,
+) -> float:
+    """Predict the best-case (lowest) loss reachable at ``target_size``.
+
+    Uses the line through the two most recent curve points, clipped at
+    zero.  For a convex decreasing curve this is a valid lower bound;
+    for a flat or rising tail the prediction equals the last loss.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    losses = np.asarray(losses, dtype=np.float64)
+    if len(sizes) != len(losses):
+        raise ConvergenceError("sizes and losses length mismatch")
+    if len(sizes) == 0:
+        raise ConvergenceError("need at least one curve point")
+    if len(sizes) == 1:
+        # Cannot form a secant: the only safe lower bound is zero for a
+        # decreasing curve — but the algorithm uses this before a second
+        # pull only, so returning 0 just means "cannot prune yet".
+        return 0.0
+    n_prev, n_last = sizes[-2], sizes[-1]
+    l_prev, l_last = losses[-2], losses[-1]
+    if target_size < n_last:
+        raise ConvergenceError(
+            f"target_size {target_size} precedes last point {n_last}"
+        )
+    if n_last == n_prev:
+        return float(max(0.0, l_last))
+    slope = (l_last - l_prev) / (n_last - n_prev)
+    slope = min(slope, 0.0)  # curves are decreasing on average
+    prediction = l_last + slope * (target_size - n_last)
+    return float(max(0.0, prediction))

@@ -1,0 +1,53 @@
+"""Baseline systems the paper compares Snoopy against (Section VI-A).
+
+- :mod:`repro.baselines.logistic_regression` — the cheap-proxy baseline:
+  a from-scratch softmax regression trained (with the paper's SGD
+  settings and hyper-parameter grid) on every catalog embedding.
+- :mod:`repro.baselines.mlp` — a small numpy MLP used by the AutoML
+  simulator and the fine-tune analogue.
+- :mod:`repro.baselines.model_zoo` — further from-scratch classifiers
+  (nearest centroid, Gaussian naive Bayes, ridge, kNN) forming the
+  AutoML search space.
+- :mod:`repro.baselines.automl` — a budgeted AutoML simulator standing
+  in for AutoKeras / auto-sklearn.
+- :mod:`repro.baselines.finetune` — the expensive "fine-tune a SOTA
+  model" reference baseline.
+- :mod:`repro.baselines.proxy` — the strawman downscaled-proxy
+  estimators of Figure 2 (right).
+"""
+
+from repro.baselines.automl import AutoMLResult, AutoMLSimulator
+from repro.baselines.finetune import FineTuneBaseline, FineTuneResult
+from repro.baselines.logistic_regression import (
+    LogisticRegressionBaseline,
+    LRBaselineResult,
+    SoftmaxRegression,
+)
+from repro.baselines.mlp import TwoLayerMLP
+from repro.baselines.model_zoo import (
+    GaussianNaiveBayes,
+    KNNClassifierModel,
+    NearestCentroidClassifier,
+    RidgeClassifier,
+)
+from repro.baselines.proxy import (
+    constant_downscale,
+    plug_into_cover_hart,
+)
+
+__all__ = [
+    "AutoMLResult",
+    "AutoMLSimulator",
+    "FineTuneBaseline",
+    "FineTuneResult",
+    "GaussianNaiveBayes",
+    "KNNClassifierModel",
+    "LogisticRegressionBaseline",
+    "LRBaselineResult",
+    "NearestCentroidClassifier",
+    "RidgeClassifier",
+    "SoftmaxRegression",
+    "TwoLayerMLP",
+    "constant_downscale",
+    "plug_into_cover_hart",
+]

@@ -1,0 +1,103 @@
+"""A small two-layer MLP (numpy, momentum SGD, ReLU, softmax CE).
+
+Used by the AutoML simulator's search space and by the fine-tune
+baseline (where it stands in for the classification head of a large
+fine-tuned model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.rng import SeedLike, ensure_rng
+
+
+class TwoLayerMLP:
+    """ReLU MLP with one hidden layer, trained by momentum SGD."""
+
+    def __init__(
+        self,
+        hidden_units: int = 64,
+        learning_rate: float = 0.05,
+        l2: float = 1e-4,
+        num_epochs: int = 30,
+        batch_size: int = 64,
+        momentum: float = 0.9,
+        seed: SeedLike = None,
+    ):
+        if hidden_units < 1:
+            raise DataValidationError("hidden_units must be >= 1")
+        if learning_rate <= 0:
+            raise DataValidationError("learning_rate must be positive")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.num_epochs = num_epochs
+        self.batch_size = batch_size
+        self.momentum = momentum
+        self._seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray, num_classes: int) -> "TwoLayerMLP":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y):
+            raise DataValidationError("x and y length mismatch")
+        rng = ensure_rng(self._seed)
+        dim = x.shape[1]
+        params = {
+            "w1": rng.normal(scale=np.sqrt(2.0 / dim), size=(dim, self.hidden_units)),
+            "b1": np.zeros(self.hidden_units),
+            "w2": rng.normal(
+                scale=np.sqrt(2.0 / self.hidden_units),
+                size=(self.hidden_units, num_classes),
+            ),
+            "b2": np.zeros(num_classes),
+        }
+        velocity = {key: np.zeros_like(val) for key, val in params.items()}
+        targets = np.zeros((len(y), num_classes))
+        targets[np.arange(len(y)), y] = 1.0
+        batch = min(self.batch_size, len(x))
+        for _ in range(self.num_epochs):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x), batch):
+                idx = order[start : start + batch]
+                grads = self._gradients(x[idx], targets[idx], params)
+                for key in params:
+                    velocity[key] = (
+                        self.momentum * velocity[key]
+                        - self.learning_rate * grads[key]
+                    )
+                    params[key] += velocity[key]
+        self._params = params
+        return self
+
+    def _gradients(
+        self, x: np.ndarray, targets: np.ndarray, params: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        hidden_pre = x @ params["w1"] + params["b1"]
+        hidden = np.maximum(hidden_pre, 0.0)
+        logits = hidden @ params["w2"] + params["b2"]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        grad_logits = (probs - targets) / len(x)
+        grad_w2 = hidden.T @ grad_logits + self.l2 * params["w2"]
+        grad_b2 = grad_logits.sum(axis=0)
+        grad_hidden = grad_logits @ params["w2"].T
+        grad_hidden[hidden_pre <= 0.0] = 0.0
+        grad_w1 = x.T @ grad_hidden + self.l2 * params["w1"]
+        grad_b1 = grad_hidden.sum(axis=0)
+        return {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise DataValidationError("model is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        hidden = np.maximum(x @ self._params["w1"] + self._params["b1"], 0.0)
+        logits = hidden @ self._params["w2"] + self._params["b2"]
+        return np.argmax(logits, axis=1)
+
+    def error(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) != np.asarray(y)))

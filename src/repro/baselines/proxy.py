@@ -1,0 +1,41 @@
+"""Strawman downscaled-proxy estimators (Introduction and Figure 2 right).
+
+A tempting shortcut for a feasibility study is to train a cheap proxy
+model and scale its error down — either by a constant or by plugging the
+proxy error into the Cover–Hart formula as if it were a 1NN error.  The
+paper shows both quickly fall into the worst-case regime: unlike the 1NN
+error, a proxy model's error carries no distributional relationship to
+the BER, so the scaled value can severely over- or under-shoot.  These
+helpers exist so the benchmark for Figure 2 can demonstrate exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.estimators.cover_hart import cover_hart_lower_bound
+from repro.exceptions import DataValidationError
+
+
+def constant_downscale(proxy_error: float, factor: float) -> float:
+    """The ``alpha_est = c * alpha_proxy`` strawman, expressed on errors.
+
+    ``factor`` > 1 divides the proxy error (i.e. scales the projected
+    accuracy up); the challenge the paper highlights is that no single
+    factor is right across datasets and proxies.
+    """
+    if not 0.0 <= proxy_error <= 1.0:
+        raise DataValidationError(
+            f"proxy_error must be in [0, 1], got {proxy_error}"
+        )
+    if factor < 1.0:
+        raise DataValidationError(f"factor must be >= 1, got {factor}")
+    return proxy_error / factor
+
+
+def plug_into_cover_hart(proxy_error: float, num_classes: int) -> float:
+    """Normalize a proxy error through Eq. 2 as if it were a 1NN error.
+
+    Valid for the 1NN error (Cover–Hart); for arbitrary classifiers the
+    result is only guaranteed to be within the Eq. 2 scaling factor of
+    the truth — the worst-case regime of Section IV-B.
+    """
+    return cover_hart_lower_bound(proxy_error, num_classes)

@@ -1,0 +1,63 @@
+"""The end-to-end label-cleaning use case (Section VI-D).
+
+A user holds a noisy dataset and a target accuracy, and alternates
+between three actions: clean a portion of labels, train an expensive
+high-accuracy model, or run a cheap feasibility study.  This subpackage
+simulates that loop under the paper's cost model:
+
+- :mod:`repro.cleaning.costs` — dollar cost model (label regimes
+  free/cheap/expensive, machine $/hour).
+- :mod:`repro.cleaning.simulator` — the cleaning oracle restoring true
+  labels.
+- :mod:`repro.cleaning.strategies` — the interaction models: fixed-step
+  fine-tuning without a feasibility study, and feasibility-study-guided
+  loops using the LR proxy or Snoopy.
+- :mod:`repro.cleaning.workflow` — grid runner producing the cost curves
+  of Figures 9, 10 and 21-27.
+"""
+
+from repro.cleaning.costs import (
+    CHEAP_LABEL_COST,
+    CostModel,
+    EXPENSIVE_LABEL_COST,
+    FREE_LABEL_COST,
+    MACHINE_DOLLARS_PER_HOUR,
+)
+from repro.cleaning.prioritized import (
+    PrioritizedCleaningSession,
+    disagreement_scores,
+    precision_at_fraction,
+)
+from repro.cleaning.simulator import CleaningSession
+from repro.cleaning.strategies import (
+    CostTrace,
+    TracePoint,
+    run_with_feasibility_study,
+    run_without_feasibility_study,
+)
+from repro.cleaning.workflow import (
+    EndToEndOutcome,
+    RepeatedOutcome,
+    run_end_to_end,
+    run_end_to_end_repeated,
+)
+
+__all__ = [
+    "CHEAP_LABEL_COST",
+    "CleaningSession",
+    "CostModel",
+    "CostTrace",
+    "EXPENSIVE_LABEL_COST",
+    "EndToEndOutcome",
+    "FREE_LABEL_COST",
+    "MACHINE_DOLLARS_PER_HOUR",
+    "PrioritizedCleaningSession",
+    "RepeatedOutcome",
+    "TracePoint",
+    "disagreement_scores",
+    "precision_at_fraction",
+    "run_end_to_end",
+    "run_end_to_end_repeated",
+    "run_with_feasibility_study",
+    "run_without_feasibility_study",
+]

@@ -1,0 +1,62 @@
+"""The dollar cost model of Section VI-D.
+
+The paper prices two resources: human label cleaning (free / 0.002$ /
+0.02$ per label) and machine time (0.9$ per GPU-hour, the then-current
+single-GPU EC2 rate).  All simulated compute in the library is expressed
+in "accelerator seconds", which this model converts to dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataValidationError
+
+FREE_LABEL_COST = 0.0
+CHEAP_LABEL_COST = 0.002  # 500 labels per dollar
+EXPENSIVE_LABEL_COST = 0.02  # 50 labels per dollar
+MACHINE_DOLLARS_PER_HOUR = 0.9
+
+LABEL_REGIMES = {
+    "free": FREE_LABEL_COST,
+    "cheap": CHEAP_LABEL_COST,
+    "expensive": EXPENSIVE_LABEL_COST,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts labels cleaned and compute seconds into dollars."""
+
+    label_cost_dollars: float = CHEAP_LABEL_COST
+    machine_dollars_per_hour: float = MACHINE_DOLLARS_PER_HOUR
+
+    def __post_init__(self) -> None:
+        if self.label_cost_dollars < 0:
+            raise DataValidationError("label cost must be non-negative")
+        if self.machine_dollars_per_hour < 0:
+            raise DataValidationError("machine cost must be non-negative")
+
+    @classmethod
+    def for_regime(cls, regime: str) -> "CostModel":
+        """Build the model for a named label-cost regime."""
+        try:
+            label_cost = LABEL_REGIMES[regime]
+        except KeyError:
+            raise DataValidationError(
+                f"unknown regime {regime!r}; expected one of "
+                f"{sorted(LABEL_REGIMES)}"
+            ) from None
+        return cls(label_cost_dollars=label_cost)
+
+    def labels(self, num_labels: int) -> float:
+        """Dollar cost of cleaning ``num_labels`` labels."""
+        if num_labels < 0:
+            raise DataValidationError("num_labels must be non-negative")
+        return self.label_cost_dollars * num_labels
+
+    def compute(self, sim_seconds: float) -> float:
+        """Dollar cost of ``sim_seconds`` of accelerator time."""
+        if sim_seconds < 0:
+            raise DataValidationError("sim_seconds must be non-negative")
+        return self.machine_dollars_per_hour * sim_seconds / 3600.0

@@ -1,0 +1,143 @@
+"""Additional numerical guidance (Section IV-C).
+
+The 1NN error curve is approximated by the log-linear scaling law of
+Eq. 10, ``log R(n) = -alpha * log(n) + c``, fitted by least squares on
+the recorded convergence curve.  Inverting the fit gives the estimated
+number of training samples needed to push the error down to a target —
+the "how much more data" aid shown in Figures 7 and 8.
+
+The paper stresses that this fit converges to zero error as n grows, so
+any target eventually looks reachable: the extrapolation must only be
+trusted when the required sample count is close to the observed range.
+:class:`ExtrapolationResult.trustworthy` encodes that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+#: Extrapolations beyond this multiple of the observed maximum size are
+#: flagged untrustworthy (the paper's 260K-vs-50K discussion).
+TRUST_HORIZON = 4.0
+
+
+@dataclass(frozen=True)
+class LogLinearFit:
+    """The fitted Eq. 10 law: ``log R(n) = -alpha log n + intercept``."""
+
+    alpha: float
+    intercept: float
+    r_squared: float
+    num_points: int
+
+    def predict_error(self, num_samples: float) -> float:
+        """Predicted 1NN error at a given training-set size."""
+        if num_samples <= 0:
+            raise ConvergenceError("num_samples must be positive")
+        return float(
+            np.exp(self.intercept - self.alpha * np.log(num_samples))
+        )
+
+    def samples_for_error(self, target_error: float) -> float:
+        """Training-set size at which the fit reaches ``target_error``."""
+        if not 0.0 < target_error < 1.0:
+            raise ConvergenceError(
+                f"target_error must be in (0, 1), got {target_error}"
+            )
+        if self.alpha <= 0:
+            return float("inf")
+        return float(
+            np.exp((self.intercept - np.log(target_error)) / self.alpha)
+        )
+
+
+@dataclass(frozen=True)
+class ExtrapolationResult:
+    """Samples-to-target estimate for one transformation."""
+
+    transform_name: str
+    target_error: float
+    current_samples: int
+    current_error: float
+    required_samples: float
+    additional_samples: float
+    trustworthy: bool
+    fit: LogLinearFit
+
+    def describe(self) -> str:
+        if np.isinf(self.required_samples):
+            return (
+                f"{self.transform_name}: flat convergence, target error "
+                f"{self.target_error:.4f} unreachable by adding data"
+            )
+        qualifier = "" if self.trustworthy else " (NOT trustworthy: far beyond data)"
+        return (
+            f"{self.transform_name}: ~{self.additional_samples:,.0f} more "
+            f"samples to reach error {self.target_error:.4f}{qualifier}"
+        )
+
+
+def fit_log_linear(
+    sizes: np.ndarray, errors: np.ndarray, min_points: int = 3
+) -> LogLinearFit:
+    """Least-squares fit of Eq. 10 on the positive part of a curve."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    errors = np.asarray(errors, dtype=np.float64)
+    if len(sizes) != len(errors):
+        raise ConvergenceError("sizes and errors length mismatch")
+    mask = (sizes > 0) & (errors > 0)
+    sizes, errors = sizes[mask], errors[mask]
+    if len(sizes) < min_points:
+        raise ConvergenceError(
+            f"need at least {min_points} positive curve points, got {len(sizes)}"
+        )
+    log_n = np.log(sizes)
+    log_r = np.log(errors)
+    design = np.column_stack([-log_n, np.ones_like(log_n)])
+    coeffs, _, _, _ = np.linalg.lstsq(design, log_r, rcond=None)
+    alpha, intercept = float(coeffs[0]), float(coeffs[1])
+    predicted = design @ coeffs
+    residual = float(np.sum((log_r - predicted) ** 2))
+    total = float(np.sum((log_r - log_r.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
+    return LogLinearFit(alpha, intercept, r_squared, len(sizes))
+
+
+def extrapolate_samples_needed(
+    transform_name: str,
+    sizes: np.ndarray,
+    errors: np.ndarray,
+    target_error: float,
+    trust_horizon: float = TRUST_HORIZON,
+) -> ExtrapolationResult:
+    """Eq. 10 inversion: how many more samples until the target error?
+
+    The reported error target is the raw 1NN error (the fit's quantity);
+    callers converting from a target *accuracy* should pass
+    ``1 - target_accuracy``.
+    """
+    fit = fit_log_linear(sizes, errors)
+    current_samples = int(sizes[-1])
+    current_error = float(errors[-1])
+    if current_error <= target_error:
+        required = float(current_samples)
+    else:
+        required = fit.samples_for_error(target_error)
+    additional = max(0.0, required - current_samples)
+    trustworthy = bool(
+        np.isfinite(required) and required <= trust_horizon * current_samples
+    )
+    return ExtrapolationResult(
+        transform_name=transform_name,
+        target_error=target_error,
+        current_samples=current_samples,
+        current_error=current_error,
+        required_samples=required,
+        additional_samples=additional,
+        trustworthy=trustworthy,
+        fit=fit,
+    )

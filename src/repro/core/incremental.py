@@ -1,0 +1,69 @@
+"""Incremental Snoopy state for the iterative cleaning loop (Section V).
+
+After a full run, the system keeps one :class:`NeighborCache` per
+evaluated transformation.  When the user cleans labels, the caches are
+updated in O(#cleaned + #test) — no inference, no distance computation —
+and a fresh aggregated estimate is available immediately.  This is the
+mechanism behind the near-instant re-runs of Figure 13.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import FeasibilitySignal
+from repro.estimators.cover_hart import cover_hart_lower_bound
+from repro.exceptions import DataValidationError
+from repro.knn.incremental import NeighborCache
+
+
+class IncrementalState:
+    """Re-runnable estimate state over cached nearest neighbors."""
+
+    def __init__(self, caches: dict[str, NeighborCache], num_classes: int):
+        if not caches:
+            raise DataValidationError("need at least one neighbor cache")
+        if num_classes < 2:
+            raise DataValidationError("num_classes must be >= 2")
+        self._caches = dict(caches)
+        self._num_classes = num_classes
+
+    @property
+    def transform_names(self) -> list[str]:
+        return list(self._caches)
+
+    def apply_cleaning(
+        self,
+        train_indices: np.ndarray,
+        train_labels: np.ndarray,
+        test_indices: np.ndarray,
+        test_labels: np.ndarray,
+    ) -> None:
+        """Propagate label corrections to every cached transformation."""
+        for cache in self._caches.values():
+            cache.update_train_labels(train_indices, train_labels)
+            cache.update_test_labels(test_indices, test_labels)
+
+    def estimates(self) -> dict[str, float]:
+        """Per-transformation Cover–Hart estimates under current labels."""
+        return {
+            name: cover_hart_lower_bound(cache.error(), self._num_classes)
+            for name, cache in self._caches.items()
+        }
+
+    def ber_estimate(self) -> tuple[str, float]:
+        """Aggregated (min) estimate and the transformation achieving it."""
+        estimates = self.estimates()
+        best = min(estimates, key=estimates.get)
+        return best, estimates[best]
+
+    def signal(self, target_accuracy: float) -> FeasibilitySignal:
+        """The binary decision under the current labels."""
+        if not 0.0 < target_accuracy <= 1.0:
+            raise DataValidationError(
+                f"target_accuracy must be in (0, 1], got {target_accuracy}"
+            )
+        _, estimate = self.ber_estimate()
+        if estimate <= 1.0 - target_accuracy:
+            return FeasibilitySignal.REALISTIC
+        return FeasibilitySignal.UNREALISTIC

@@ -1,0 +1,136 @@
+"""Result containers for a Snoopy feasibility study."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.estimators.base import BEREstimate  # re-exported
+from repro.exceptions import DataValidationError
+
+__all__ = [
+    "BEREstimate",
+    "ConvergenceCurve",
+    "FeasibilityReport",
+    "FeasibilitySignal",
+    "TransformResult",
+]
+
+
+class FeasibilitySignal(enum.Enum):
+    """The binary output of the system (Section III)."""
+
+    REALISTIC = "realistic"
+    UNREALISTIC = "unrealistic"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """1NN error (and its Cover–Hart estimate) vs training-set size."""
+
+    transform_name: str
+    sizes: np.ndarray
+    errors: np.ndarray
+    estimates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not len(self.sizes) == len(self.errors) == len(self.estimates):
+            raise DataValidationError("curve arrays must have equal length")
+
+    @property
+    def final_size(self) -> int:
+        return int(self.sizes[-1]) if len(self.sizes) else 0
+
+    @property
+    def final_error(self) -> float:
+        return float(self.errors[-1]) if len(self.errors) else float("nan")
+
+    @property
+    def final_estimate(self) -> float:
+        return float(self.estimates[-1]) if len(self.estimates) else float("nan")
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """Per-transformation outcome of a run."""
+
+    transform_name: str
+    samples_used: int
+    one_nn_error: float
+    estimate: BEREstimate
+    sim_cost_seconds: float
+
+
+@dataclass
+class FeasibilityReport:
+    """Everything Snoopy tells the user (Sections III and IV-C).
+
+    Attributes
+    ----------
+    signal:
+        REALISTIC iff ``ber_estimate <= 1 - target_accuracy``.
+    ber_estimate:
+        The aggregated estimate R̂ = min over transformations.
+    gap:
+        ``(1 - target_accuracy) - ber_estimate``; positive slack means
+        the target looks comfortably achievable.
+    extrapolation:
+        The Eq. 10 samples-to-target estimate for the winning
+        transformation, or None when not requested/possible.
+    """
+
+    dataset_name: str
+    target_accuracy: float
+    signal: FeasibilitySignal
+    ber_estimate: float
+    best_transform: str
+    gap: float
+    per_transform: list[TransformResult]
+    curves: dict[str, ConvergenceCurve] = field(default_factory=dict)
+    extrapolation: "ExtrapolationResult | None" = None  # noqa: F821
+    strategy: str = "full"
+    total_sim_cost_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    #: True when the binary decision is stable across the Wilson band of
+    #: the winning estimate (false near the target boundary or on tiny
+    #: test sets — the user should gather more data or trust cautiously).
+    signal_confident: bool = True
+
+    @property
+    def best_accuracy(self) -> float:
+        """The projected best achievable accuracy, ``1 - R̂``."""
+        return 1.0 - self.ber_estimate
+
+    @property
+    def is_realistic(self) -> bool:
+        return self.signal is FeasibilitySignal.REALISTIC
+
+    def estimates_by_transform(self) -> dict[str, float]:
+        return {
+            result.transform_name: result.estimate.value
+            for result in self.per_transform
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"Feasibility study: {self.dataset_name}",
+            f"  target accuracy : {self.target_accuracy:.4f}",
+            f"  signal          : {self.signal}",
+            f"  BER estimate    : {self.ber_estimate:.4f} "
+            f"(best transform: {self.best_transform})",
+            f"  projected best  : {self.best_accuracy:.4f}",
+            f"  gap to target   : {self.gap:+.4f}",
+            f"  strategy        : {self.strategy}",
+            f"  signal confident: {self.signal_confident}",
+            f"  simulated cost  : {self.total_sim_cost_seconds:.2f}s "
+            f"(wall {self.wall_seconds:.2f}s)",
+        ]
+        if self.extrapolation is not None:
+            lines.append(f"  extrapolation   : {self.extrapolation.describe()}")
+        return "\n".join(lines)

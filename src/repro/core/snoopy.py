@@ -1,0 +1,364 @@
+"""The Snoopy system (Sections III–V).
+
+Given a dataset and a target accuracy, Snoopy:
+
+1. wraps every catalog transformation in a streamed arm (inference +
+   incremental 1NN),
+2. allocates the sample budget across arms with successive halving (with
+   or without tangent early stopping), uniform allocation, or full
+   evaluation,
+3. converts each arm's 1NN error into the Cover–Hart lower bound and
+   aggregates by taking the minimum,
+4. emits the binary REALISTIC/UNREALISTIC signal plus the additional
+   guidance of Section IV-C (convergence curves, gap to target, Eq. 10
+   samples-to-target extrapolation), and
+5. retains per-transformation neighbor caches so that re-running after
+   label cleaning is O(test) (Section V, Figure 13).
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bandit.arms import TransformationArm, build_arms
+from repro.bandit.successive_halving import SelectionResult, successive_halving
+from repro.bandit.uniform import uniform_allocation
+from repro.core.aggregation import aggregate_min
+from repro.core.guidance import ExtrapolationResult, extrapolate_samples_needed
+from repro.core.incremental import IncrementalState
+from repro.core.result import (
+    ConvergenceCurve,
+    FeasibilityReport,
+    FeasibilitySignal,
+    TransformResult,
+)
+from repro.estimators.base import BEREstimate
+from repro.estimators.confidence import ber_estimate_interval
+from repro.estimators.cover_hart import cover_hart_lower_bound
+from repro.exceptions import ConvergenceError, DataValidationError
+from repro.knn.incremental import NeighborCache
+from repro.rng import ensure_rng
+
+STRATEGIES = (
+    "successive_halving_tangent",
+    "successive_halving",
+    "uniform",
+    "full",
+    "perfect",
+)
+
+
+@dataclass
+class SnoopyConfig:
+    """Tunable behaviour of a Snoopy run.
+
+    Attributes
+    ----------
+    strategy:
+        Allocation strategy; "successive_halving_tangent" is the paper's
+        best-performing configuration and the default.
+    budget:
+        Total samples that may be embedded across all arms; ``None``
+        chooses ``num_train * ceil(log2(num_arms))`` so the winning arm
+        can reach the full training pool.
+    pull_size:
+        Samples per pull (the batch-size hyper-parameter of Section V);
+        ``None`` uses 5% of the training pool.
+    metric:
+        Distance metric for the 1NN evaluators; "auto" selects cosine
+        dissimilarity for text datasets and euclidean otherwise
+        (following the paper's per-modality convention).
+    top_up_winner:
+        After selection, feed the winner the rest of the training pool.
+    extrapolate:
+        Attach the Eq. 10 samples-to-target extrapolation to the report.
+    perfect_arm_name:
+        Required when ``strategy == "perfect"``: evaluate only this arm
+        (the oracle lower-bound strategy of Figure 12).
+    """
+
+    strategy: str = "successive_halving_tangent"
+    budget: int | None = None
+    pull_size: int | None = None
+    metric: str = "auto"
+    top_up_winner: bool = True
+    extrapolate: bool = True
+    perfect_arm_name: str | None = None
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise DataValidationError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+        if self.strategy == "perfect" and not self.perfect_arm_name:
+            raise DataValidationError(
+                "strategy 'perfect' requires perfect_arm_name"
+            )
+
+
+@dataclass
+class _RunState:
+    """Internal artifacts of the last run, kept for incremental re-runs."""
+
+    arms: list[TransformationArm]
+    order: np.ndarray  # permutation: shuffled position -> original index
+    num_classes: int
+    dataset_name: str = ""
+    caches: dict[str, NeighborCache] = field(default_factory=dict)
+
+
+class Snoopy:
+    """The feasibility-study system.
+
+    Parameters
+    ----------
+    catalog:
+        Iterable of :class:`FeatureTransform` (e.g. a
+        :class:`repro.transforms.FittedCatalog`); fitted lazily on the
+        training split if needed.
+    config:
+        A :class:`SnoopyConfig`; defaults are the paper's configuration.
+    """
+
+    def __init__(self, catalog, config: SnoopyConfig | None = None):
+        self.catalog = list(catalog)
+        if not self.catalog:
+            raise DataValidationError("catalog must contain at least one transform")
+        self.config = config or SnoopyConfig()
+        self._state: _RunState | None = None
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def run(self, dataset, target_accuracy: float) -> FeasibilityReport:
+        """Perform the feasibility study and return the full report."""
+        if not 0.0 < target_accuracy <= 1.0:
+            raise DataValidationError(
+                f"target_accuracy must be in (0, 1], got {target_accuracy}"
+            )
+        started = time.perf_counter()
+        rng = ensure_rng(self.config.seed)
+        metric = self._resolve_metric(dataset)
+        order = rng.permutation(dataset.num_train)
+        arms = self._build_arms(dataset, order, metric)
+        selection = self._allocate(arms, dataset.num_train)
+        if self.config.top_up_winner and not selection.winner.exhausted:
+            self._exhaust(selection.winner)
+        report = self._build_report(
+            dataset, target_accuracy, arms, selection, started
+        )
+        self._state = _RunState(
+            arms=arms,
+            order=order,
+            num_classes=dataset.num_classes,
+            dataset_name=dataset.name,
+        )
+        return report
+
+    def incremental_state(self) -> IncrementalState:
+        """Neighbor-cache state of the last run, for real-time re-runs.
+
+        Nearest-neighbor indices are translated back to *original*
+        training-set positions, so cleaning indices from the dataset
+        space apply directly.
+        """
+        if self._state is None:
+            raise DataValidationError("no completed run; call run() first")
+        state = self._state
+        if not state.caches:
+            for arm in state.arms:
+                shuffled_nn = arm.evaluator.nearest_indices
+                original_nn = state.order[shuffled_nn]
+                train_labels = np.empty(len(state.order), dtype=np.int64)
+                train_labels[state.order] = arm._train_y  # noqa: SLF001
+                state.caches[arm.name] = NeighborCache(
+                    original_nn,
+                    train_labels,
+                    arm.evaluator._test_y,  # noqa: SLF001
+                )
+        return IncrementalState(dict(state.caches), state.num_classes)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_metric(self, dataset) -> str:
+        if self.config.metric != "auto":
+            return self.config.metric
+        return "cosine" if dataset.modality == "text" else "euclidean"
+
+    def _build_arms(
+        self, dataset, order: np.ndarray, metric: str
+    ) -> list[TransformationArm]:
+        # Build arms directly over the permuted pool (shared by all arms).
+        train_x = dataset.train_x[order]
+        train_y = dataset.train_y[order]
+        arms = []
+        for transform in self.catalog:
+            if not transform.fitted:
+                _fit(transform, train_x, train_y)
+            arms.append(
+                TransformationArm(
+                    transform,
+                    train_x,
+                    train_y,
+                    dataset.test_x,
+                    dataset.test_y,
+                    metric=metric,
+                )
+            )
+        return arms
+
+    def _allocate(
+        self, arms: list[TransformationArm], num_train: int
+    ) -> SelectionResult:
+        config = self.config
+        pull_size = config.pull_size or max(16, num_train // 20)
+        rounds = max(1, int(np.ceil(np.log2(len(arms)))))
+        budget = config.budget or num_train * rounds
+        if config.strategy == "full":
+            for arm in arms:
+                self._exhaust(arm, pull_size)
+            winner = min(arms, key=lambda arm: arm.current_loss)
+            return SelectionResult(
+                winner=winner,
+                strategy="full",
+                total_samples=sum(arm.samples_used for arm in arms),
+                total_sim_cost=sum(arm.sim_cost for arm in arms),
+                samples_per_arm={arm.name: arm.samples_used for arm in arms},
+            )
+        if config.strategy == "perfect":
+            winner = next(
+                (arm for arm in arms if arm.name == config.perfect_arm_name),
+                None,
+            )
+            if winner is None:
+                raise DataValidationError(
+                    f"perfect_arm_name {config.perfect_arm_name!r} not in catalog"
+                )
+            self._exhaust(winner, pull_size)
+            return SelectionResult(
+                winner=winner,
+                strategy="perfect",
+                total_samples=winner.samples_used,
+                total_sim_cost=winner.sim_cost,
+                samples_per_arm={winner.name: winner.samples_used},
+            )
+        if config.strategy == "uniform":
+            return uniform_allocation(arms, budget, pull_size=pull_size)
+        return successive_halving(
+            arms,
+            budget,
+            pull_size=pull_size,
+            use_tangent=config.strategy == "successive_halving_tangent",
+        )
+
+    @staticmethod
+    def _exhaust(arm: TransformationArm, pull_size: int = 512) -> None:
+        while not arm.exhausted:
+            arm.pull(pull_size)
+
+    def _build_report(
+        self,
+        dataset,
+        target_accuracy: float,
+        arms: list[TransformationArm],
+        selection: SelectionResult,
+        started: float,
+    ) -> FeasibilityReport:
+        num_classes = dataset.num_classes
+        per_transform: list[TransformResult] = []
+        estimates: dict[str, BEREstimate] = {}
+        curves: dict[str, ConvergenceCurve] = {}
+        for arm in arms:
+            if not arm.losses:
+                continue
+            error = arm.current_loss
+            lower = cover_hart_lower_bound(error, num_classes)
+            interval = ber_estimate_interval(
+                error, dataset.num_test, num_classes
+            )
+            estimate = BEREstimate(
+                value=lower,
+                lower=lower,
+                upper=error,
+                details={
+                    "one_nn_error": error,
+                    "samples": arm.samples_used,
+                    "confidence_low": interval.low,
+                    "confidence_high": interval.high,
+                },
+            )
+            estimates[arm.name] = estimate
+            per_transform.append(
+                TransformResult(
+                    transform_name=arm.name,
+                    samples_used=arm.samples_used,
+                    one_nn_error=error,
+                    estimate=estimate,
+                    sim_cost_seconds=arm.sim_cost,
+                )
+            )
+            sizes, errors = arm.loss_curve()
+            curve_estimates = np.array(
+                [cover_hart_lower_bound(e, num_classes) for e in errors]
+            )
+            curves[arm.name] = ConvergenceCurve(
+                arm.name, sizes, errors, curve_estimates
+            )
+        best_name, best_estimate = aggregate_min(estimates)
+        target_error = 1.0 - target_accuracy
+        signal = (
+            FeasibilitySignal.REALISTIC
+            if best_estimate.value <= target_error
+            else FeasibilitySignal.UNREALISTIC
+        )
+        # The signal is "confident" when the same decision holds at both
+        # ends of the winning estimate's Wilson band (Section IV-C's
+        # trust theme, quantified).
+        low = best_estimate.details["confidence_low"]
+        high = best_estimate.details["confidence_high"]
+        signal_confident = (low <= target_error) == (high <= target_error)
+        extrapolation = self._extrapolate(curves.get(best_name), target_error)
+        return FeasibilityReport(
+            dataset_name=dataset.name,
+            target_accuracy=target_accuracy,
+            signal=signal,
+            ber_estimate=best_estimate.value,
+            best_transform=best_name,
+            gap=target_error - best_estimate.value,
+            per_transform=per_transform,
+            curves=curves,
+            extrapolation=extrapolation,
+            strategy=selection.strategy,
+            total_sim_cost_seconds=sum(arm.sim_cost for arm in arms),
+            wall_seconds=time.perf_counter() - started,
+            signal_confident=signal_confident,
+        )
+
+    def _extrapolate(
+        self, curve: ConvergenceCurve | None, target_error: float
+    ) -> ExtrapolationResult | None:
+        if not self.config.extrapolate or curve is None:
+            return None
+        if not 0.0 < target_error < 1.0:
+            return None
+        try:
+            return extrapolate_samples_needed(
+                curve.transform_name, curve.sizes, curve.errors, target_error
+            )
+        except ConvergenceError:
+            return None
+
+
+def _fit(transform, x: np.ndarray, y: np.ndarray) -> None:
+    if "y" in inspect.signature(transform.fit).parameters:
+        transform.fit(x, y)
+    else:
+        transform.fit(x)

@@ -1,0 +1,50 @@
+"""Dataset substrate with known ground-truth Bayes error.
+
+The paper evaluates on MNIST/CIFAR10/CIFAR100/IMDB/SST2/YELP plus the
+human-annotated noisy CIFAR-N variants.  Offline, this package provides
+Gaussian-mixture analogues whose true BER is *known by construction*,
+which is what every estimator-quality claim in the evaluation actually
+requires (the paper itself resorts to the FeeBee noise-series protocol
+because the true BER of the real datasets is unknowable).
+
+- :mod:`repro.datasets.base` — the :class:`Dataset` container.
+- :mod:`repro.datasets.synthetic` — the mixture task generator + oracle.
+- :mod:`repro.datasets.catalog` — the six paper datasets (Table I).
+- :mod:`repro.datasets.cifar_n` — CIFAR-N noisy variants (Table II).
+- :mod:`repro.datasets.vtab` — the 19-task VTAB-like suite (Figure 11).
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.catalog import (
+    DATASET_SPECS,
+    DatasetSpec,
+    dataset_names,
+    load,
+)
+from repro.datasets.cifar_n import (
+    CIFAR_N_STATS,
+    CifarNStats,
+    cifar_n_transition,
+    load_cifar_n,
+)
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synthetic import GaussianMixtureTask, TaskOracle
+from repro.datasets.vtab import VTAB_TASK_NAMES, load_vtab_suite
+
+__all__ = [
+    "CIFAR_N_STATS",
+    "CifarNStats",
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "GaussianMixtureTask",
+    "TaskOracle",
+    "VTAB_TASK_NAMES",
+    "cifar_n_transition",
+    "dataset_names",
+    "load",
+    "load_cifar_n",
+    "load_dataset",
+    "save_dataset",
+    "load_vtab_suite",
+]

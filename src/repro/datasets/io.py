@@ -1,0 +1,91 @@
+"""Dataset persistence: save/load to a single ``.npz`` archive.
+
+The synthetic generators are deterministic, but users of the library may
+want to pin the exact realized sample (e.g. to share a noisy artefact
+across machines or archive the input of a study).  The archive stores
+features, labels, clean labels when present, and scalar metadata; the
+oracle (a function of the generator, not the sample) is *not* persisted
+— reload it by reconstructing the task if ground truth is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataValidationError
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_classes": dataset.num_classes,
+        "modality": dataset.modality,
+        "sota_error": dataset.sota_error,
+        "extras": {
+            key: value
+            for key, value in dataset.extras.items()
+            if isinstance(value, (str, int, float, bool))
+        },
+    }
+    arrays = {
+        "train_x": dataset.train_x,
+        "train_y": dataset.train_y,
+        "test_x": dataset.test_x,
+        "test_y": dataset.test_y,
+        "metadata_json": np.frombuffer(
+            json.dumps(metadata).encode(), dtype=np.uint8
+        ),
+    }
+    if dataset.clean_train_y is not None:
+        arrays["clean_train_y"] = dataset.clean_train_y
+    if dataset.clean_test_y is not None:
+        arrays["clean_test_y"] = dataset.clean_test_y
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | pathlib.Path) -> Dataset:
+    """Load a dataset archive written by :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataValidationError(f"no dataset archive at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata_json"]).decode())
+        except KeyError:
+            raise DataValidationError(
+                f"{path} is not a repro dataset archive"
+            ) from None
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise DataValidationError(
+                f"unsupported archive version {metadata.get('format_version')}"
+            )
+        return Dataset(
+            name=metadata["name"],
+            train_x=archive["train_x"],
+            train_y=archive["train_y"],
+            test_x=archive["test_x"],
+            test_y=archive["test_y"],
+            num_classes=metadata["num_classes"],
+            modality=metadata["modality"],
+            sota_error=metadata["sota_error"],
+            clean_train_y=(
+                archive["clean_train_y"] if "clean_train_y" in archive else None
+            ),
+            clean_test_y=(
+                archive["clean_test_y"] if "clean_test_y" in archive else None
+            ),
+            extras=dict(metadata.get("extras", {})),
+        )

@@ -1,0 +1,298 @@
+"""Gaussian-mixture classification tasks with known Bayes error.
+
+The generator produces a task in three layers:
+
+1. A *latent* space: class ``y`` draws ``z ~ N(mu_y, sigma^2 I_k)`` with
+   equal priors.  The exact posterior ``p(y | z)`` — and therefore the
+   exact Bayes error — is computable from the mixture densities.
+2. A *raw feature* space: ``x = [A z, clutter(z)]`` where ``A`` has
+   orthonormal columns (so the map is injective and the BER on raw
+   features equals the BER on latents) and ``clutter`` is a fixed
+   deterministic non-linear map that adds many nuisance dimensions.  The
+   clutter is what makes 1NN on raw features converge slowly — exactly
+   the role raw pixels play in the paper's Figure 2.
+3. A *latent recovery* matrix ``R`` with ``R x = z``, handed to the
+   simulated embeddings (:mod:`repro.transforms.pretrained`) so that a
+   high-fidelity embedding can behave like a strong pre-trained model.
+
+Separation calibration: :meth:`GaussianMixtureTask.calibrate_to_ber`
+binary-searches the class separation so the task's clean BER matches a
+target (e.g. half of the published SOTA error of the real dataset the
+task emulates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataValidationError
+from repro.rng import SeedLike, ensure_rng
+
+
+def _mixture_posteriors(
+    latents: np.ndarray, class_means: np.ndarray, within_std: float
+) -> np.ndarray:
+    """Exact ``p(y | z)`` of an equal-prior isotropic Gaussian mixture."""
+    sq = (
+        np.sum(latents**2, axis=1)[:, None]
+        - 2.0 * latents @ class_means.T
+        + np.sum(class_means**2, axis=1)[None, :]
+    )
+    logits = -sq / (2.0 * within_std**2)
+    logits -= logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=1, keepdims=True)
+    return probs
+
+
+@dataclass(frozen=True)
+class TaskOracle:
+    """Ground-truth access for a generated task.
+
+    Carries the exact clean BER, the posterior function and the latent
+    recovery matrix used by simulated embeddings.
+    """
+
+    true_ber: float
+    latent_projection: np.ndarray  # (k, D): recovers z from raw x
+    class_means: np.ndarray  # (C, k)
+    within_std: float
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_means)
+
+    @property
+    def latent_dim(self) -> int:
+        return self.class_means.shape[1]
+
+    def posteriors(self, latents: np.ndarray) -> np.ndarray:
+        """Exact ``p(y | z)`` for latent points (equal class priors)."""
+        latents = np.asarray(latents, dtype=np.float64)
+        if latents.ndim != 2 or latents.shape[1] != self.latent_dim:
+            raise DataValidationError(
+                f"latents must be (n, {self.latent_dim}), got {latents.shape}"
+            )
+        return _mixture_posteriors(latents, self.class_means, self.within_std)
+
+    def posteriors_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Exact ``p(y | x)`` via the injective latent recovery."""
+        raw = np.asarray(raw, dtype=np.float64)
+        return self.posteriors(raw @ self.latent_projection.T)
+
+
+class GaussianMixtureTask:
+    """A parameterized mixture task; call :meth:`sample_dataset` to realize it.
+
+    Parameters
+    ----------
+    num_classes, latent_dim:
+        Mixture geometry.  ``latent_dim`` controls intrinsic difficulty
+        and 1NN convergence speed.
+    class_sep:
+        Distance scale between class means (before calibration).
+    within_std:
+        Isotropic within-class standard deviation.
+    clutter_dim:
+        Number of deterministic nuisance dimensions appended to the raw
+        features (0 disables clutter).
+    clutter_scale:
+        Amplitude of the clutter relative to the signal block.
+    clutter_frequency:
+        Frequency of the clutter's random-cosine map.  High frequencies
+        decorrelate the clutter from the latent geometry, so it behaves
+        as a nuisance for finite-sample 1NN (while remaining a
+        deterministic, BER-preserving function of the latent).
+    seed:
+        Fixes means, mixing matrices and the clutter map — the task
+        identity.  Sampling uses independent per-call generators.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        latent_dim: int,
+        class_sep: float = 3.0,
+        within_std: float = 1.0,
+        raw_signal_dim: int | None = None,
+        clutter_dim: int = 48,
+        clutter_scale: float = 2.0,
+        clutter_frequency: float = 4.0,
+        seed: SeedLike = None,
+    ):
+        if num_classes < 2:
+            raise DataValidationError("num_classes must be >= 2")
+        if latent_dim < 1:
+            raise DataValidationError("latent_dim must be >= 1")
+        if class_sep <= 0 or within_std <= 0:
+            raise DataValidationError("class_sep and within_std must be positive")
+        self.num_classes = num_classes
+        self.latent_dim = latent_dim
+        self.class_sep = class_sep
+        self.within_std = within_std
+        self.raw_signal_dim = raw_signal_dim or max(latent_dim, 2 * latent_dim)
+        if self.raw_signal_dim < latent_dim:
+            raise DataValidationError("raw_signal_dim must be >= latent_dim")
+        self.clutter_dim = clutter_dim
+        self.clutter_scale = clutter_scale
+        self.clutter_frequency = clutter_frequency
+        rng = ensure_rng(seed)
+        self._directions = self._sample_directions(rng)
+        # Mixing matrix with orthonormal columns: injective, so the BER
+        # on raw features equals the latent BER.
+        gauss = rng.normal(size=(self.raw_signal_dim, latent_dim))
+        q, _ = np.linalg.qr(gauss)
+        self._mixing = q[:, :latent_dim]
+        if clutter_dim > 0:
+            self._clutter_weights = rng.normal(
+                scale=clutter_frequency / np.sqrt(latent_dim),
+                size=(clutter_dim, latent_dim),
+            )
+            self._clutter_bias = rng.uniform(-np.pi, np.pi, size=clutter_dim)
+        else:
+            self._clutter_weights = None
+            self._clutter_bias = None
+        self._ber_cache: dict[tuple[float, int, int], float] = {}
+
+    def _sample_directions(self, rng: np.random.Generator) -> np.ndarray:
+        """Unit-norm class-mean directions, used at any separation scale."""
+        directions = rng.normal(size=(self.num_classes, self.latent_dim))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        return directions / np.maximum(norms, 1e-12)
+
+    @property
+    def raw_dim(self) -> int:
+        return self.raw_signal_dim + self.clutter_dim
+
+    def class_means(self, class_sep: float | None = None) -> np.ndarray:
+        sep = self.class_sep if class_sep is None else class_sep
+        return self._directions * sep
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    def true_ber(
+        self,
+        class_sep: float | None = None,
+        num_monte_carlo: int = 100_000,
+        seed: int = 2_023,
+    ) -> float:
+        """Monte-Carlo estimate of the clean BER at the given separation.
+
+        The Monte-Carlo seed is fixed so the estimate is a deterministic
+        function of the task — important for the calibration search.
+        """
+        sep = self.class_sep if class_sep is None else class_sep
+        key = (round(sep, 10), num_monte_carlo, seed)
+        if key not in self._ber_cache:
+            rng = np.random.default_rng(seed)
+            means = self.class_means(sep)
+            labels = rng.integers(0, self.num_classes, size=num_monte_carlo)
+            latents = means[labels] + rng.normal(
+                scale=self.within_std, size=(num_monte_carlo, self.latent_dim)
+            )
+            posts = _mixture_posteriors(latents, means, self.within_std)
+            self._ber_cache[key] = float(np.mean(1.0 - posts.max(axis=1)))
+        return self._ber_cache[key]
+
+    def calibrate_to_ber(
+        self,
+        target_ber: float,
+        tolerance: float = 0.1,
+        max_iterations: int = 40,
+        num_monte_carlo: int = 60_000,
+    ) -> float:
+        """Find (and adopt) a separation whose clean BER matches the target.
+
+        ``tolerance`` is relative; the search is a plain bisection on the
+        (monotone decreasing) BER-vs-separation curve.
+        """
+        if not 0.0 < target_ber < 1.0 - 1.0 / self.num_classes:
+            raise DataValidationError(
+                f"target_ber must be in (0, 1 - 1/C), got {target_ber}"
+            )
+        low, high = 1e-3, 40.0
+        best = self.class_sep
+        for _ in range(max_iterations):
+            mid = 0.5 * (low + high)
+            ber = self.true_ber(class_sep=mid, num_monte_carlo=num_monte_carlo)
+            best = mid
+            if abs(ber - target_ber) <= tolerance * target_ber:
+                break
+            if ber > target_ber:
+                low = mid  # too hard: increase separation
+            else:
+                high = mid
+        self.class_sep = best
+        return best
+
+    def _oracle_at(self, class_sep: float) -> TaskOracle:
+        projection = np.zeros((self.latent_dim, self.raw_dim))
+        # The mixing block has orthonormal columns so its transpose
+        # recovers the latent exactly from the signal block.
+        projection[:, : self.raw_signal_dim] = self._mixing.T
+        return TaskOracle(
+            true_ber=self.true_ber(class_sep=class_sep),
+            latent_projection=projection,
+            class_means=self.class_means(class_sep),
+            within_std=self.within_std,
+        )
+
+    def oracle(self) -> TaskOracle:
+        return self._oracle_at(self.class_sep)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _raw_features(self, latents: np.ndarray) -> np.ndarray:
+        signal = latents @ self._mixing.T
+        if self._clutter_weights is None:
+            return signal
+        clutter = self.clutter_scale * np.cos(
+            latents @ self._clutter_weights.T + self._clutter_bias
+        )
+        return np.concatenate([signal, clutter], axis=1)
+
+    def sample(
+        self, num_samples: int, rng: SeedLike = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``(raw_x, labels, latents)`` from the task distribution."""
+        rng = ensure_rng(rng)
+        means = self.class_means()
+        labels = rng.integers(0, self.num_classes, size=num_samples)
+        latents = means[labels] + rng.normal(
+            scale=self.within_std, size=(num_samples, self.latent_dim)
+        )
+        return self._raw_features(latents), labels, latents
+
+    def sample_dataset(
+        self,
+        num_train: int,
+        num_test: int,
+        name: str = "synthetic",
+        modality: str = "vision",
+        sota_error: float | None = None,
+        rng: SeedLike = None,
+    ) -> Dataset:
+        """Realize a :class:`Dataset` with oracle attached."""
+        rng = ensure_rng(rng)
+        train_x, train_y, train_z = self.sample(num_train, rng)
+        test_x, test_y, test_z = self.sample(num_test, rng)
+        return Dataset(
+            name=name,
+            train_x=train_x,
+            train_y=train_y,
+            test_x=test_x,
+            test_y=test_y,
+            num_classes=self.num_classes,
+            modality=modality,
+            sota_error=sota_error,
+            oracle=self.oracle(),
+            train_latents=train_z,
+            test_latents=test_z,
+        )

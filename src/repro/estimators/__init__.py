@@ -1,0 +1,53 @@
+"""Bayes-error estimator zoo (Section II's three estimator families).
+
+- kNN-classifier-accuracy estimators: :class:`OneNNEstimator` (the paper's
+  default, Cover–Hart based), :class:`KNNLooEstimator` (Devijver-style),
+  :class:`KNNExtrapolationEstimator` (Snapp–Xu curve fitting).
+- Density estimators: :class:`KDEEstimator` (Parzen plug-in),
+  :class:`DeKNNEstimator` (Fukunaga–Kessell posterior plug-in).
+- Divergence estimator: :class:`GHPEstimator` (generalized Henze–Penrose
+  via Friedman–Rafsky minimal-spanning-tree statistics).
+
+All estimators implement :class:`BayesErrorEstimator` and are accessible
+by name via :func:`get_estimator` / :data:`ESTIMATOR_REGISTRY`.
+"""
+
+from repro.estimators.base import (
+    BayesErrorEstimator,
+    BEREstimate,
+    ESTIMATOR_REGISTRY,
+    get_estimator,
+    register_estimator,
+)
+from repro.estimators.confidence import (
+    ConfidenceInterval,
+    ber_estimate_interval,
+    wilson_interval,
+)
+from repro.estimators.cover_hart import (
+    OneNNEstimator,
+    cover_hart_lower_bound,
+)
+from repro.estimators.de_knn import DeKNNEstimator
+from repro.estimators.extrapolation import KNNExtrapolationEstimator
+from repro.estimators.ghp import GHPEstimator
+from repro.estimators.kde import KDEEstimator
+from repro.estimators.knn_loo import KNNLooEstimator
+
+__all__ = [
+    "BEREstimate",
+    "ConfidenceInterval",
+    "BayesErrorEstimator",
+    "DeKNNEstimator",
+    "ESTIMATOR_REGISTRY",
+    "GHPEstimator",
+    "KDEEstimator",
+    "KNNExtrapolationEstimator",
+    "KNNLooEstimator",
+    "OneNNEstimator",
+    "ber_estimate_interval",
+    "cover_hart_lower_bound",
+    "wilson_interval",
+    "get_estimator",
+    "register_estimator",
+]

@@ -1,0 +1,24 @@
+"""FeeBee-style estimator evaluation (the paper's companion protocol).
+
+The true BER of a real dataset is unknown, so a single estimate cannot be
+judged.  FeeBee's insight: inject a *series* of uniform label-noise
+levels, evolve the known-or-assumed clean BER with Lemma 2.1, and judge
+an estimator by how its estimates track that known evolution.  On this
+library's synthetic tasks the clean BER is exact, making the protocol
+fully grounded.
+"""
+
+from repro.feebee.evaluation import (
+    EstimatorEvaluation,
+    NoisePoint,
+    evaluate_estimator_over_noise,
+)
+from repro.feebee.variance import QuantileBand, estimate_with_quantiles
+
+__all__ = [
+    "EstimatorEvaluation",
+    "NoisePoint",
+    "QuantileBand",
+    "estimate_with_quantiles",
+    "evaluate_estimator_over_noise",
+]

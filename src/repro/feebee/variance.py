@@ -1,0 +1,90 @@
+"""Estimator variance quantification (the paper's quantile bands).
+
+The paper reports the median and 5%/95% quantiles over many independent
+runs and observes that SST2 — with its sub-1K test set — is far less
+stable than the other datasets.  This module provides the machinery:
+repeat an estimate over independent train/test resamples and summarize
+the run distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.estimators.base import BayesErrorEstimator
+from repro.exceptions import DataValidationError
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.transforms.base import FeatureTransform
+
+
+@dataclass(frozen=True)
+class QuantileBand:
+    """Run-distribution summary of a repeated estimate."""
+
+    median: float
+    low: float  # 5% quantile by default
+    high: float  # 95% quantile by default
+    values: np.ndarray
+
+    @property
+    def spread(self) -> float:
+        """Width of the band — the instability measure of Section VI-C."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def estimate_with_quantiles(
+    estimator: BayesErrorEstimator,
+    dataset: Dataset,
+    num_runs: int = 10,
+    transform: FeatureTransform | None = None,
+    subsample_train: int | None = None,
+    subsample_test: int | None = None,
+    quantiles: tuple[float, float] = (0.05, 0.95),
+    rng: SeedLike = None,
+) -> QuantileBand:
+    """Repeat an estimate over independent resamples; summarize the runs.
+
+    Each run subsamples the dataset (defaults: 80% of train, full test)
+    with an independent generator, mirroring the paper's protocol of
+    "multiple independent runs" per configuration.
+    """
+    if num_runs < 2:
+        raise DataValidationError("num_runs must be >= 2")
+    lo_q, hi_q = quantiles
+    if not 0.0 <= lo_q < hi_q <= 1.0:
+        raise DataValidationError("quantiles must satisfy 0 <= lo < hi <= 1")
+    rng = ensure_rng(rng)
+    children = spawn(rng, num_runs)
+    if transform is not None and not transform.fitted:
+        transform.fit(dataset.train_x)
+    train_size = subsample_train or max(8, int(0.8 * dataset.num_train))
+    test_size = subsample_test or dataset.num_test
+    values = []
+    for child in children:
+        sample = dataset.subsample(train_size, test_size, rng=child)
+        train_x = (
+            sample.train_x if transform is None
+            else transform.transform(sample.train_x)
+        )
+        test_x = (
+            sample.test_x if transform is None
+            else transform.transform(sample.test_x)
+        )
+        estimate = estimator.estimate(
+            train_x, sample.train_y, test_x, sample.test_y,
+            dataset.num_classes,
+        )
+        values.append(estimate.value)
+    values = np.array(values)
+    return QuantileBand(
+        median=float(np.median(values)),
+        low=float(np.quantile(values, lo_q)),
+        high=float(np.quantile(values, hi_q)),
+        values=values,
+    )

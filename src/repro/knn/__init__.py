@@ -1,0 +1,41 @@
+"""Exact k-nearest-neighbor substrate.
+
+This subpackage is the computational core under every 1NN-based Bayes
+error estimate in the paper:
+
+- :mod:`repro.knn.metrics` — blocked pairwise distances (euclidean/cosine).
+- :mod:`repro.knn.brute_force` — an exact kNN index with prediction and
+  test-error helpers.
+- :mod:`repro.knn.progressive` — a streaming 1NN evaluator that ingests
+  training data in batches and maintains the test error after every
+  batch; this powers the convergence curves and the bandit arms.
+- :mod:`repro.knn.incremental` — the neighbor cache that makes re-running
+  Snoopy after label cleaning an O(test) operation (Section V of the
+  paper: cleaning labels never moves a nearest neighbor).
+- :mod:`repro.knn.kmeans` / :mod:`repro.knn.ivf` — the coarse quantizer
+  and inverted-file index behind the accelerator-style approximate
+  search the paper cites for scaling.
+"""
+
+from repro.knn.brute_force import BruteForceKNN
+from repro.knn.incremental import NeighborCache
+from repro.knn.ivf import IVFFlatIndex
+from repro.knn.kmeans import KMeans
+from repro.knn.metrics import (
+    cosine_distances,
+    euclidean_distances,
+    pairwise_distances,
+)
+from repro.knn.progressive import CurvePoint, ProgressiveOneNN
+
+__all__ = [
+    "BruteForceKNN",
+    "CurvePoint",
+    "IVFFlatIndex",
+    "KMeans",
+    "NeighborCache",
+    "ProgressiveOneNN",
+    "cosine_distances",
+    "euclidean_distances",
+    "pairwise_distances",
+]

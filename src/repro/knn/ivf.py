@@ -1,0 +1,139 @@
+"""IVF-Flat: inverted-file approximate nearest neighbor search.
+
+The paper's streaming formulation is "inspired by ideas for efficient
+implementation of the nearest-neighbor search on hardware accelerators"
+(Johnson et al., billion-scale similarity search).  The workhorse of
+that line of systems is the IVF-Flat index: partition the corpus with a
+coarse k-means quantizer, then search only the ``nprobe`` closest
+partitions for each query.
+
+Exactness degrades gracefully with ``nprobe``; at ``nprobe == nlist``
+the index is exactly brute force.  The library's default estimators use
+exact search (the datasets are small); this index exists for the
+scalability path and is validated against brute force in the tests and
+benchmarked for the recall/speed trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.knn.kmeans import KMeans
+from repro.knn.metrics import euclidean_distances
+from repro.rng import SeedLike
+
+
+class IVFFlatIndex:
+    """Approximate kNN via an inverted file over a k-means quantizer.
+
+    Parameters
+    ----------
+    nlist:
+        Number of coarse partitions (k-means clusters).
+    nprobe:
+        Number of closest partitions scanned per query.
+    seed:
+        Seeds the quantizer training.
+    """
+
+    def __init__(self, nlist: int = 16, nprobe: int = 4, seed: SeedLike = 0):
+        if nlist < 1:
+            raise DataValidationError("nlist must be >= 1")
+        if nprobe < 1:
+            raise DataValidationError("nprobe must be >= 1")
+        self.nlist = nlist
+        self.nprobe = min(nprobe, nlist)
+        self._seed = seed
+        self._quantizer: KMeans | None = None
+        self._lists: list[np.ndarray] | None = None  # member indices
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    @property
+    def num_fitted(self) -> int:
+        return 0 if self._x is None else len(self._x)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "IVFFlatIndex":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2:
+            raise DataValidationError("x must be 2-D")
+        if len(x) != len(y):
+            raise DataValidationError("x and y length mismatch")
+        if len(x) == 0:
+            raise DataValidationError("cannot fit an empty corpus")
+        nlist = min(self.nlist, len(x))
+        self._quantizer = KMeans(nlist, seed=self._seed).fit(x)
+        assignment = self._quantizer.predict(x)
+        self._lists = [
+            np.flatnonzero(assignment == cluster) for cluster in range(nlist)
+        ]
+        self._x, self._y = x, y
+        return self
+
+    def kneighbors(
+        self, queries: np.ndarray, k: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate ``(distances, indices)`` of the k nearest points.
+
+        When fewer than ``k`` candidates fall in the probed partitions,
+        the probe set is widened for those queries, so the result always
+        contains ``k`` valid entries.
+        """
+        if self._quantizer is None or self._x is None:
+            raise DataValidationError("index is not fitted")
+        queries = np.asarray(queries, dtype=np.float64)
+        if k > len(self._x):
+            raise DataValidationError(
+                f"k={k} exceeds corpus size {len(self._x)}"
+            )
+        centroid_dist = euclidean_distances(
+            queries, self._quantizer.centroids
+        )
+        probe_order = np.argsort(centroid_dist, axis=1)
+        out_dist = np.empty((len(queries), k))
+        out_idx = np.empty((len(queries), k), dtype=np.int64)
+        for row, query in enumerate(queries):
+            probes = self.nprobe
+            while True:
+                candidates = np.concatenate(
+                    [self._lists[c] for c in probe_order[row, :probes]]
+                )
+                if len(candidates) >= k or probes >= len(self._lists):
+                    break
+                probes += 1
+            dist = euclidean_distances(
+                query[None, :], self._x[candidates]
+            )[0]
+            top = np.argsort(dist)[:k]
+            out_dist[row] = dist[top]
+            out_idx[row] = candidates[top]
+        return out_dist, out_idx
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Approximate 1NN label prediction."""
+        if self._y is None:
+            raise DataValidationError("index is not fitted")
+        _, idx = self.kneighbors(queries, k=1)
+        return self._y[idx[:, 0]]
+
+    def error(self, queries: np.ndarray, true_labels: np.ndarray) -> float:
+        """Approximate 1NN misclassification rate."""
+        true_labels = np.asarray(true_labels)
+        return float(np.mean(self.predict(queries) != true_labels))
+
+    def recall_against_exact(
+        self, queries: np.ndarray, exact_indices: np.ndarray, k: int = 1
+    ) -> float:
+        """Fraction of exact k-nearest neighbors recovered by this index."""
+        _, approx = self.kneighbors(queries, k=k)
+        exact_indices = np.asarray(exact_indices)
+        if exact_indices.ndim == 1:
+            exact_indices = exact_indices[:, None]
+        hits = 0
+        for row in range(len(queries)):
+            hits += len(
+                set(approx[row].tolist()) & set(exact_indices[row].tolist())
+            )
+        return hits / (len(queries) * k)

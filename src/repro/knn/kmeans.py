@@ -1,0 +1,105 @@
+"""Lloyd's k-means with k-means++ seeding (numpy, from scratch).
+
+Used as the coarse quantizer of the IVF index (:mod:`repro.knn.ivf`),
+mirroring how accelerator kNN libraries cited by the paper structure
+billion-scale search.  Kept deliberately small: fit / predict / inertia.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.knn.metrics import euclidean_distances
+from repro.rng import SeedLike, ensure_rng
+
+
+class KMeans:
+    """Lloyd iterations over euclidean distance with k-means++ init.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of centroids.
+    max_iterations:
+        Upper bound on Lloyd iterations; iteration stops early when the
+        assignment is stable.
+    seed:
+        Seeds the k-means++ initialization.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        max_iterations: int = 25,
+        seed: SeedLike = None,
+    ):
+        if num_clusters < 1:
+            raise DataValidationError("num_clusters must be >= 1")
+        if max_iterations < 1:
+            raise DataValidationError("max_iterations must be >= 1")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self._seed = seed
+        self.centroids: np.ndarray | None = None
+
+    def _init_centroids(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids by D^2 sampling."""
+        centroids = np.empty((self.num_clusters, x.shape[1]))
+        centroids[0] = x[rng.integers(len(x))]
+        closest_sq = np.full(len(x), np.inf)
+        for i in range(1, self.num_clusters):
+            dist = euclidean_distances(x, centroids[i - 1 : i])[:, 0]
+            np.minimum(closest_sq, dist**2, out=closest_sq)
+            total = closest_sq.sum()
+            if total <= 0:
+                centroids[i] = x[rng.integers(len(x))]
+            else:
+                probabilities = closest_sq / total
+                centroids[i] = x[rng.choice(len(x), p=probabilities)]
+        return centroids
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DataValidationError("x must be 2-D")
+        if len(x) < self.num_clusters:
+            raise DataValidationError(
+                f"need at least {self.num_clusters} points, got {len(x)}"
+            )
+        rng = ensure_rng(self._seed)
+        centroids = self._init_centroids(x, rng)
+        assignment = np.full(len(x), -1, dtype=np.int64)
+        for _ in range(self.max_iterations):
+            dist = euclidean_distances(x, centroids)
+            new_assignment = np.argmin(dist, axis=1)
+            if np.array_equal(new_assignment, assignment):
+                break
+            assignment = new_assignment
+            for cluster in range(self.num_clusters):
+                mask = assignment == cluster
+                if mask.any():
+                    centroids[cluster] = x[mask].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = np.argmax(dist[np.arange(len(x)), assignment])
+                    centroids[cluster] = x[farthest]
+        self.centroids = centroids
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment for new points."""
+        if self.centroids is None:
+            raise DataValidationError("kmeans is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        return np.argmin(euclidean_distances(x, self.centroids), axis=1)
+
+    def inertia(self, x: np.ndarray) -> float:
+        """Sum of squared distances to the assigned centroids."""
+        if self.centroids is None:
+            raise DataValidationError("kmeans is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        dist = euclidean_distances(x, self.centroids)
+        return float(np.sum(dist.min(axis=1) ** 2))

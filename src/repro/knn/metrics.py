@@ -1,0 +1,118 @@
+"""Pairwise distance computations used by the kNN substrate.
+
+The functions here are exact (no approximate nearest-neighbor search) but
+block the computation so that a large query-by-corpus distance matrix is
+never materialized at once.  Both metrics used in the paper (euclidean
+and cosine dissimilarity) are provided behind one dispatch function.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+VALID_METRICS = ("euclidean", "cosine")
+
+_EPS = 1e-12
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise DataValidationError(
+            f"expected 2-D arrays, got shapes {a.shape} and {b.shape}"
+        )
+    if a.shape[1] != b.shape[1]:
+        raise DataValidationError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    return a, b
+
+
+def euclidean_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact euclidean distance matrix of shape ``(len(a), len(b))``."""
+    a, b = _validate_pair(a, b)
+    sq_a = np.sum(a * a, axis=1)[:, None]
+    sq_b = np.sum(b * b, axis=1)[None, :]
+    sq = sq_a + sq_b - 2.0 * (a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def cosine_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cosine dissimilarity matrix, ``1 - cos(a_i, b_j)``.
+
+    Zero vectors are treated as maximally dissimilar to everything
+    (distance 1), matching the convention of treating an all-zero
+    embedding as uninformative.
+    """
+    a, b = _validate_pair(a, b)
+    norm_a = np.linalg.norm(a, axis=1)
+    norm_b = np.linalg.norm(b, axis=1)
+    safe_a = a / np.maximum(norm_a, _EPS)[:, None]
+    safe_b = b / np.maximum(norm_b, _EPS)[:, None]
+    sim = safe_a @ safe_b.T
+    np.clip(sim, -1.0, 1.0, out=sim)
+    sim[norm_a < _EPS, :] = 0.0
+    sim[:, norm_b < _EPS] = 0.0
+    return 1.0 - sim
+
+
+_METRIC_FUNCS = {
+    "euclidean": euclidean_distances,
+    "cosine": cosine_distances,
+}
+
+
+def pairwise_distances(
+    a: np.ndarray, b: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Dispatch to the requested metric ("euclidean" or "cosine")."""
+    try:
+        func = _METRIC_FUNCS[metric]
+    except KeyError:
+        raise DataValidationError(
+            f"unknown metric {metric!r}; expected one of {VALID_METRICS}"
+        ) from None
+    return func(a, b)
+
+
+def iter_blocks(total: int, block_size: int) -> Iterator[slice]:
+    """Yield contiguous slices covering ``range(total)`` in blocks."""
+    if block_size <= 0:
+        raise DataValidationError(f"block_size must be positive, got {block_size}")
+    for start in range(0, total, block_size):
+        yield slice(start, min(start + block_size, total))
+
+
+def blocked_argmin_distance(
+    queries: np.ndarray,
+    corpus: np.ndarray,
+    metric: str = "euclidean",
+    block_size: int = 1024,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest corpus index and distance for each query, block by block.
+
+    Returns ``(indices, distances)`` with one entry per query row.  The
+    corpus is scanned in blocks of ``block_size`` rows so memory stays
+    bounded by ``len(queries) * block_size`` floats.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    corpus = np.asarray(corpus, dtype=np.float64)
+    if len(corpus) == 0:
+        raise DataValidationError("corpus must contain at least one point")
+    n_queries = len(queries)
+    best_dist = np.full(n_queries, np.inf)
+    best_idx = np.zeros(n_queries, dtype=np.int64)
+    for block in iter_blocks(len(corpus), block_size):
+        dist = pairwise_distances(queries, corpus[block], metric=metric)
+        local = np.argmin(dist, axis=1)
+        local_dist = dist[np.arange(n_queries), local]
+        improved = local_dist < best_dist
+        best_dist[improved] = local_dist[improved]
+        best_idx[improved] = local[improved] + block.start
+    return best_idx, best_dist

@@ -1,0 +1,159 @@
+"""Streaming 1NN evaluation over a growing training set.
+
+This is the engine behind Snoopy's convergence curves and the bandit
+arms of Section V.  A :class:`ProgressiveOneNN` is bound to a fixed test
+set; training data arrives in batches via :meth:`partial_fit`, and after
+every batch the exact 1NN test error is available in O(1) because the
+evaluator maintains, per test point, the distance and label of its
+current nearest neighbor.
+
+Feeding batch after batch therefore costs O(batch x test) per step and
+reproduces exactly the error the full brute-force computation would give
+on the union of all batches seen so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.knn.metrics import pairwise_distances
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One point of a 1NN convergence curve: error after ``n`` train samples."""
+
+    train_size: int
+    error: float
+
+
+class ProgressiveOneNN:
+    """Exact 1NN test error maintained incrementally over training batches.
+
+    Parameters
+    ----------
+    test_x, test_y:
+        The fixed test set (features and integer labels).
+    metric:
+        Distance metric, "euclidean" or "cosine".
+    record_curve:
+        When True (default), every :meth:`partial_fit` appends a
+        :class:`CurvePoint` to :attr:`curve`.
+    """
+
+    def __init__(
+        self,
+        test_x: np.ndarray,
+        test_y: np.ndarray,
+        metric: str = "euclidean",
+        record_curve: bool = True,
+    ):
+        test_x = np.asarray(test_x, dtype=np.float64)
+        test_y = np.asarray(test_y, dtype=np.int64)
+        if test_x.ndim != 2:
+            raise DataValidationError(f"test_x must be 2-D, got {test_x.shape}")
+        if len(test_x) != len(test_y):
+            raise DataValidationError(
+                f"test_x and test_y length mismatch: {len(test_x)} vs {len(test_y)}"
+            )
+        if len(test_x) == 0:
+            raise DataValidationError("test set must not be empty")
+        self.metric = metric
+        self.record_curve = record_curve
+        self._test_x = test_x
+        self._test_y = test_y
+        self._nn_dist = np.full(len(test_x), np.inf)
+        self._nn_label = np.full(len(test_x), -1, dtype=np.int64)
+        self._nn_index = np.full(len(test_x), -1, dtype=np.int64)
+        self._train_seen = 0
+        self.curve: list[CurvePoint] = []
+
+    @property
+    def test_size(self) -> int:
+        return len(self._test_x)
+
+    @property
+    def train_seen(self) -> int:
+        """Total number of training samples ingested so far."""
+        return self._train_seen
+
+    @property
+    def nearest_labels(self) -> np.ndarray:
+        """Current nearest-neighbor label per test point (copy)."""
+        return self._nn_label.copy()
+
+    @property
+    def nearest_indices(self) -> np.ndarray:
+        """Global train index of each test point's nearest neighbor (copy)."""
+        return self._nn_index.copy()
+
+    @property
+    def nearest_distances(self) -> np.ndarray:
+        """Current nearest-neighbor distance per test point (copy)."""
+        return self._nn_dist.copy()
+
+    def partial_fit(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
+        """Ingest one training batch and return the updated 1NN test error."""
+        batch_x = np.asarray(batch_x, dtype=np.float64)
+        batch_y = np.asarray(batch_y, dtype=np.int64)
+        if len(batch_x) != len(batch_y):
+            raise DataValidationError(
+                f"batch_x and batch_y length mismatch: "
+                f"{len(batch_x)} vs {len(batch_y)}"
+            )
+        if len(batch_x) > 0:
+            dist = pairwise_distances(self._test_x, batch_x, metric=self.metric)
+            local = np.argmin(dist, axis=1)
+            local_dist = dist[np.arange(len(self._test_x)), local]
+            improved = local_dist < self._nn_dist
+            self._nn_dist[improved] = local_dist[improved]
+            self._nn_label[improved] = batch_y[local[improved]]
+            self._nn_index[improved] = local[improved] + self._train_seen
+            self._train_seen += len(batch_x)
+        err = self.error()
+        if self.record_curve:
+            self.curve.append(CurvePoint(self._train_seen, err))
+        return err
+
+    def error(self) -> float:
+        """Current exact 1NN test error over all batches seen so far."""
+        if self._train_seen == 0:
+            raise DataValidationError("no training data ingested yet")
+        return float(np.mean(self._nn_label != self._test_y))
+
+    def relabel_train(self, indices: np.ndarray, new_labels: np.ndarray) -> None:
+        """Apply train-label corrections without recomputing any distance.
+
+        Cleaning a label does not move any point in feature space, so the
+        nearest-neighbor structure is unchanged (Section V of the paper);
+        only cached labels for affected neighbors must be rewritten.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        new_labels = np.asarray(new_labels, dtype=np.int64)
+        if len(indices) != len(new_labels):
+            raise DataValidationError("indices and new_labels length mismatch")
+        if len(indices) == 0:
+            return
+        remap = dict(zip(indices.tolist(), new_labels.tolist()))
+        for test_i, nn_idx in enumerate(self._nn_index):
+            if nn_idx in remap:
+                self._nn_label[test_i] = remap[nn_idx]
+
+    def relabel_test(self, indices: np.ndarray, new_labels: np.ndarray) -> None:
+        """Apply test-label corrections (the ground truth used for the error)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        new_labels = np.asarray(new_labels, dtype=np.int64)
+        if len(indices) != len(new_labels):
+            raise DataValidationError("indices and new_labels length mismatch")
+        self._test_y[indices] = new_labels
+
+    def curve_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the recorded convergence curve as ``(sizes, errors)`` arrays."""
+        if not self.curve:
+            return np.array([], dtype=np.int64), np.array([])
+        sizes = np.array([p.train_size for p in self.curve], dtype=np.int64)
+        errors = np.array([p.error for p in self.curve])
+        return sizes, errors

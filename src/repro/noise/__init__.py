@@ -1,0 +1,52 @@
+"""Label-noise substrate: transition matrices, injectors and BER theory.
+
+- :mod:`repro.noise.transition` — validated transition matrices with the
+  constructions used in the paper (uniform flipping, pairwise flipping,
+  class-dependent random matrices calibrated to published statistics).
+- :mod:`repro.noise.models` — label-noise injectors returning both the
+  corrupted labels and the flip mask.
+- :mod:`repro.noise.theory` — closed-form evolution of the Bayes error
+  under noise: Lemma 2.1 (uniform), Theorem 3.1 (class-dependent), the
+  pairwise-flipping corollary, and the lower/upper bounds of Eq. 15-20.
+- :mod:`repro.noise.features` — feature-side quality injectors (Gaussian
+  noise, missing values) extending the paper's "other data quality
+  dimensions" discussion.
+"""
+
+from repro.noise.features import (
+    FeatureCorruption,
+    ber_after_latent_feature_noise,
+    inject_feature_noise,
+    inject_missing_features,
+)
+from repro.noise.models import (
+    NoiseInjection,
+    inject_pairwise_noise,
+    inject_uniform_noise,
+    inject_with_transition,
+)
+from repro.noise.theory import (
+    ber_after_pairwise_noise,
+    ber_after_uniform_noise,
+    ber_under_transition,
+    expected_increase_approximation,
+    transition_bounds_from_sota,
+)
+from repro.noise.transition import TransitionMatrix
+
+__all__ = [
+    "FeatureCorruption",
+    "NoiseInjection",
+    "TransitionMatrix",
+    "ber_after_pairwise_noise",
+    "ber_after_latent_feature_noise",
+    "ber_after_uniform_noise",
+    "ber_under_transition",
+    "expected_increase_approximation",
+    "inject_feature_noise",
+    "inject_missing_features",
+    "inject_pairwise_noise",
+    "inject_uniform_noise",
+    "inject_with_transition",
+    "transition_bounds_from_sota",
+]

@@ -1,0 +1,142 @@
+"""Label-noise injectors.
+
+Each injector returns a :class:`NoiseInjection` carrying the corrupted
+labels, the clean originals, and a boolean flip mask — the mask is what
+the cleaning simulator (Section VI-D) uses as its oracle for restoring
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.noise.transition import TransitionMatrix
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class NoiseInjection:
+    """Result of corrupting a label array.
+
+    Attributes
+    ----------
+    noisy_labels:
+        Labels after corruption.
+    clean_labels:
+        The originals (copy), kept as the cleaning oracle.
+    flipped:
+        Boolean mask, True where ``noisy_labels != clean_labels``.
+    """
+
+    noisy_labels: np.ndarray
+    clean_labels: np.ndarray
+    flipped: np.ndarray
+
+    @property
+    def flip_rate(self) -> float:
+        """Realized fraction of labels actually changed."""
+        if len(self.flipped) == 0:
+            return 0.0
+        return float(np.mean(self.flipped))
+
+
+def _package(clean: np.ndarray, noisy: np.ndarray) -> NoiseInjection:
+    clean = np.asarray(clean, dtype=np.int64)
+    noisy = np.asarray(noisy, dtype=np.int64)
+    return NoiseInjection(noisy, clean.copy(), noisy != clean)
+
+
+def inject_uniform_noise(
+    labels: np.ndarray,
+    rho: float,
+    num_classes: int,
+    rng: SeedLike = None,
+) -> NoiseInjection:
+    """Uniform label noise: with prob. ``rho`` resample a label from U(Y).
+
+    This matches the noise model of Lemma 2.1 exactly (including the
+    possibility of a "flip" back to the original class), so the BER
+    evolves as ``R + rho * (1 - 1/C - R)``.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise DataValidationError(f"rho must be in [0, 1], got {rho}")
+    rng = ensure_rng(rng)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(labels) and (labels.min() < 0 or labels.max() >= num_classes):
+        raise DataValidationError("labels out of range for num_classes")
+    resample = rng.random(len(labels)) < rho
+    noisy = labels.copy()
+    count = int(resample.sum())
+    if count:
+        noisy[resample] = rng.integers(0, num_classes, size=count)
+    return _package(labels, noisy)
+
+
+def inject_with_transition(
+    labels: np.ndarray,
+    transition: TransitionMatrix,
+    rng: SeedLike = None,
+) -> NoiseInjection:
+    """Class-dependent noise drawn from a transition matrix (Eq. 4)."""
+    rng = ensure_rng(rng)
+    labels = np.asarray(labels, dtype=np.int64)
+    noisy = transition.sample_noisy_labels(labels, rng=rng)
+    return _package(labels, noisy)
+
+
+def inject_pairwise_noise(
+    labels: np.ndarray,
+    rho: float,
+    num_classes: int,
+    permutation: np.ndarray | None = None,
+    rng: SeedLike = None,
+) -> NoiseInjection:
+    """Pairwise flipping: each class leaks into a single partner class."""
+    transition = TransitionMatrix.pairwise(rho, num_classes, permutation)
+    return inject_with_transition(labels, transition, rng=rng)
+
+
+def inject_instance_dependent_noise(
+    features: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+    base_rate: float,
+    rng: SeedLike = None,
+) -> NoiseInjection:
+    """Instance-dependent noise: harder (more isolated) points flip more.
+
+    The paper's theory covers class-dependent noise only; this injector
+    exists to exercise the failure modes discussed in Section III (where
+    Theorem 3.1's assumptions do not hold).  A point's flip probability
+    scales with its normalized distance to its class centroid, with mean
+    ``base_rate``.
+    """
+    if not 0.0 <= base_rate <= 1.0:
+        raise DataValidationError(f"base_rate must be in [0, 1], got {base_rate}")
+    rng = ensure_rng(rng)
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(features) != len(labels):
+        raise DataValidationError("features and labels length mismatch")
+    difficulty = np.zeros(len(labels))
+    for cls in range(num_classes):
+        mask = labels == cls
+        if not mask.any():
+            continue
+        centroid = features[mask].mean(axis=0)
+        difficulty[mask] = np.linalg.norm(features[mask] - centroid, axis=1)
+    mean_difficulty = difficulty.mean()
+    if mean_difficulty > 0:
+        rates = np.clip(base_rate * difficulty / mean_difficulty, 0.0, 1.0)
+    else:
+        rates = np.full(len(labels), base_rate)
+    flip = rng.random(len(labels)) < rates
+    noisy = labels.copy()
+    count = int(flip.sum())
+    if count:
+        offsets = rng.integers(1, num_classes, size=count)
+        noisy[flip] = (labels[flip] + offsets) % num_classes
+    return _package(labels, noisy)

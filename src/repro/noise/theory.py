@@ -1,0 +1,156 @@
+"""Closed-form evolution of the Bayes error rate under label noise.
+
+Implements the theory of Sections II/III and Appendix VIII of the paper:
+
+- :func:`ber_after_uniform_noise` — Lemma 2.1.
+- :func:`ber_after_pairwise_noise` — the pairwise-flipping example.
+- :func:`ber_under_transition` — Theorem 3.1 for an arbitrary
+  class-dependent transition matrix, evaluated on posterior samples.
+- :func:`transition_bounds_from_sota` — the Eq. 19 interval for the noisy
+  BER using only the state-of-the-art error and the matrix statistics.
+- :func:`expected_increase_approximation` — the Eq. 20 point estimate
+  used as the dashed "expected SOTA increase" lines in Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.noise.transition import TransitionMatrix
+
+
+def _check_error(value: float, name: str = "ber") -> None:
+    if not 0.0 <= value <= 1.0:
+        raise DataValidationError(f"{name} must be in [0, 1], got {value}")
+
+
+def ber_after_uniform_noise(ber: float, rho: float, num_classes: int) -> float:
+    """Lemma 2.1: ``R*_rho = R* + rho * (1 - 1/C - R*)``.
+
+    ``rho`` is the probability that a label is *resampled* uniformly over
+    all classes (so the realized flip rate is ``rho * (1 - 1/C)``).
+    """
+    _check_error(ber)
+    _check_error(rho, "rho")
+    if num_classes < 2:
+        raise DataValidationError("num_classes must be >= 2")
+    return ber + rho * (1.0 - 1.0 / num_classes - ber)
+
+
+def ber_after_pairwise_noise(ber: float, rho: float) -> float:
+    """Pairwise flipping corollary: ``R*_rho = R* + rho * (1 - 2 R*)``."""
+    _check_error(ber)
+    _check_error(rho, "rho")
+    return ber + rho * (1.0 - 2.0 * ber)
+
+
+def ber_under_transition(
+    posteriors: np.ndarray, transition: TransitionMatrix
+) -> float:
+    """Theorem 3.1 evaluated by Monte-Carlo over posterior samples.
+
+    Parameters
+    ----------
+    posteriors:
+        Array of shape ``(n, C)``; row i is ``p(y | x_i)`` for a sample
+        ``x_i`` drawn from the marginal of X.  On our synthetic tasks
+        these are exact (the generator knows the mixture), making this a
+        consistent estimate of the noisy BER.
+    transition:
+        The class-dependent noise model.  Must satisfy the theorem's
+        standing assumption that flipping preserves each column argmax.
+
+    Notes
+    -----
+    Using the law of total expectation (see Appendix VIII),
+    ``R*_noisy = 1 - E_X[ sum_y t[y_x, y] p(y | x) ]`` where
+    ``y_x = argmax_y p(y | x)``.
+    """
+    posteriors = np.asarray(posteriors, dtype=np.float64)
+    if posteriors.ndim != 2:
+        raise DataValidationError(
+            f"posteriors must be 2-D (n, C), got {posteriors.shape}"
+        )
+    if posteriors.shape[1] != transition.num_classes:
+        raise DataValidationError(
+            "posterior columns must match transition num_classes"
+        )
+    if not np.allclose(posteriors.sum(axis=1), 1.0, atol=1e-6):
+        raise DataValidationError("posterior rows must sum to 1")
+    if not transition.preserves_argmax():
+        raise DataValidationError(
+            "Theorem 3.1 requires the transition matrix to preserve the "
+            "per-class argmax (diagonal maximal per column)"
+        )
+    modal = np.argmax(posteriors, axis=1)
+    # P(Y_noisy = y_x | x) = sum_y t[y_x, y] * p(y | x)
+    kept = np.einsum("ij,ij->i", transition.matrix[modal, :], posteriors)
+    return float(np.mean(1.0 - kept))
+
+
+def ber_increase_decomposition(
+    posteriors: np.ndarray, transition: TransitionMatrix
+) -> tuple[float, float, float]:
+    """The three terms of Theorem 3.1's statement, for inspection/tests.
+
+    Returns ``(clean_ber, flip_term, recovery_term)`` such that
+    ``noisy_ber = clean_ber + flip_term - recovery_term``.
+    """
+    posteriors = np.asarray(posteriors, dtype=np.float64)
+    modal = np.argmax(posteriors, axis=1)
+    n = len(posteriors)
+    p_modal = posteriors[np.arange(n), modal]
+    clean_ber = float(np.mean(1.0 - p_modal))
+    rho = transition.flip_fractions
+    flip_term = float(np.mean(rho[modal] * p_modal))
+    cross = posteriors.copy()
+    cross[np.arange(n), modal] = 0.0
+    recovery_term = float(
+        np.mean(np.einsum("ij,ij->i", transition.matrix[modal, :], cross))
+    )
+    return clean_ber, flip_term, recovery_term
+
+
+def transition_bounds_from_sota(
+    sota_error: float, transition: TransitionMatrix
+) -> tuple[float, float]:
+    """The Eq. 19 interval for the noisy BER given only the SOTA error.
+
+    ``lower = (1 - s) * min_y rho(y) - s * max off-diagonal`` and
+    ``upper = s + max_y rho(y)``, both clipped to [0, 1].  These are the
+    dashed bound lines of Figure 5.
+    """
+    _check_error(sota_error, "sota_error")
+    min_flip = float(transition.flip_fractions.min())
+    max_flip = float(transition.flip_fractions.max())
+    max_off = transition.max_off_diagonal()
+    lower = (1.0 - sota_error) * min_flip - sota_error * max_off
+    upper = sota_error + max_flip
+    return max(0.0, lower), min(1.0, upper)
+
+
+def expected_increase_approximation(
+    sota_error: float,
+    transition: TransitionMatrix,
+    class_priors: np.ndarray | None = None,
+) -> float:
+    """The Eq. 20 point approximation ``s + E_Y[rho(y)] * (1 - s)``.
+
+    This is the paper's pragmatic proxy for the noisy BER when only a
+    SOTA error and the average flip fraction are known.
+    """
+    _check_error(sota_error, "sota_error")
+    mean_flip = transition.noise_level(class_priors)
+    return min(1.0, sota_error + mean_flip * (1.0 - sota_error))
+
+
+def expected_sota_increase_uniform(
+    sota_error: float, rho: float, num_classes: int
+) -> float:
+    """Expected noisy error of a SOTA model under Lemma 2.1 noise.
+
+    Used for the dashed horizontal lines in Figure 4: treat the SOTA
+    error as a stand-in for the clean BER and evolve it with the lemma.
+    """
+    return ber_after_uniform_noise(sota_error, rho, num_classes)

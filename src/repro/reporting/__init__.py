@@ -1,0 +1,20 @@
+"""Plain-text rendering and JSON export of tables, figures and reports."""
+
+from repro.reporting.serialize import (
+    report_to_dict,
+    report_to_json,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.reporting.series import FigureData, Series
+from repro.reporting.tables import render_table
+
+__all__ = [
+    "FigureData",
+    "Series",
+    "render_table",
+    "report_to_dict",
+    "report_to_json",
+    "trace_to_dict",
+    "trace_to_json",
+]

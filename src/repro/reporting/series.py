@@ -1,0 +1,83 @@
+"""Figure-series containers: named (x, y) lines plus text rendering.
+
+Benchmarks regenerate each paper figure as a :class:`FigureData` — the
+same information a plot would carry, in a form that prints cleanly in a
+test log and can be asserted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.reporting.tables import render_table
+
+
+@dataclass
+class Series:
+    """One labeled line of a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if len(self.x) != len(self.y):
+            raise DataValidationError(
+                f"series {self.label!r}: x and y length mismatch"
+            )
+
+    @property
+    def final_y(self) -> float:
+        return float(self.y[-1]) if len(self.y) else float("nan")
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, with provenance notes."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, x, y) -> Series:
+        new = Series(label, x, y)
+        self.series.append(new)
+        return new
+
+    def get(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(label)
+
+    @property
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]
+
+    def to_text(self, max_points: int = 12) -> str:
+        """Compact text rendering: one table row per (series, point)."""
+        rows = []
+        for series in self.series:
+            indices = (
+                range(len(series.x))
+                if len(series.x) <= max_points
+                else np.linspace(0, len(series.x) - 1, max_points).astype(int)
+            )
+            for i in indices:
+                rows.append([series.label, float(series.x[i]), float(series.y[i])])
+        table = render_table(
+            ["series", self.x_label, self.y_label],
+            rows,
+            title=f"{self.figure_id}: {self.title}",
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return table

@@ -1,0 +1,55 @@
+"""Aligned ASCII table rendering used by the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import DataValidationError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table with a header rule.
+
+    Floats are formatted compactly; all other values via ``str``.
+    """
+    if not headers:
+        raise DataValidationError("headers must not be empty")
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    for i, row in enumerate(formatted):
+        if len(row) != len(headers):
+            raise DataValidationError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in formatted), 1)
+        if formatted
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

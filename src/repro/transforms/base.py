@@ -1,0 +1,120 @@
+"""Base protocol for feature transformations.
+
+A transformation is a deterministic map from raw features to a vector
+representation.  Determinism matters: the paper's companion theory shows
+any deterministic transformation can only increase the Bayes error, which
+is what licenses min-aggregation over a catalog.
+
+Every transformation also carries a *simulated inference cost* per sample
+(seconds of accelerator time).  Feature extraction dominates Snoopy's
+runtime in the paper, so cost accounting lives here rather than in the
+kNN layer.
+"""
+
+from __future__ import annotations
+
+import inspect
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+class FeatureTransform(ABC):
+    """A deterministic feature map with cost accounting.
+
+    Subclasses must set :attr:`name`, :attr:`output_dim` and
+    :attr:`cost_per_sample`, and implement :meth:`transform`.  Stateful
+    transforms (PCA, NCA, simulated embeddings that calibrate scaling)
+    override :meth:`fit`; it must be idempotent in effect.
+    """
+
+    name: str
+    output_dim: int
+    cost_per_sample: float = 0.0
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, x: np.ndarray) -> "FeatureTransform":
+        """Fit any data-dependent state.  Default: stateless no-op."""
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map raw features (n, D) to representations (n, output_dim)."""
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inference_cost(self, num_samples: int) -> float:
+        """Simulated accelerator seconds to embed ``num_samples`` points."""
+        return self.cost_per_sample * num_samples
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DataValidationError(
+                f"{self.name}: expected 2-D features, got shape {x.shape}"
+            )
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, dim={self.output_dim})"
+
+
+class FittedCatalog:
+    """A list of transformations fitted once against a training matrix.
+
+    Convenience wrapper used by baselines that need all representations
+    up front (e.g. the logistic-regression proxy, which the paper assumes
+    computes every embedding exactly once).
+    """
+
+    def __init__(self, transforms: list[FeatureTransform]):
+        if not transforms:
+            raise DataValidationError("catalog must contain at least one transform")
+        names = [t.name for t in transforms]
+        if len(set(names)) != len(names):
+            raise DataValidationError(f"duplicate transform names: {names}")
+        self.transforms = list(transforms)
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "FittedCatalog":
+        """Fit every transform; labels are passed to supervised ones (NCA)."""
+        for transform in self.transforms:
+            if "y" in inspect.signature(transform.fit).parameters:
+                if y is None:
+                    raise DataValidationError(
+                        f"{transform.name} is supervised; "
+                        "catalog.fit() needs labels"
+                    )
+                transform.fit(x, y)
+            else:
+                transform.fit(x)
+        return self
+
+    def __iter__(self):
+        return iter(self.transforms)
+
+    def __len__(self) -> int:
+        return len(self.transforms)
+
+    def __getitem__(self, name: str) -> FeatureTransform:
+        for transform in self.transforms:
+            if transform.name == name:
+                return transform
+        raise KeyError(name)
+
+    @property
+    def names(self) -> list[str]:
+        return [t.name for t in self.transforms]
+
+    def total_inference_cost(self, num_samples: int) -> float:
+        """Simulated cost of embedding ``num_samples`` with every transform."""
+        return sum(t.inference_cost(num_samples) for t in self.transforms)

@@ -1,0 +1,142 @@
+"""Classical linear feature transformations: identity, PCA, projections.
+
+These are the "non-pretrained" entries of the paper's Table III catalog
+(Identity/Raw, PCA32/64/128) plus helpers.  All are implemented from
+scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.rng import SeedLike, ensure_rng
+from repro.transforms.base import FeatureTransform
+
+
+class IdentityTransform(FeatureTransform):
+    """The raw features, unchanged.  Zero transformation bias by definition."""
+
+    def __init__(self, input_dim: int):
+        super().__init__()
+        self.name = "identity"
+        self.output_dim = input_dim
+        self.cost_per_sample = 0.0
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        if x.shape[1] != self.output_dim:
+            raise DataValidationError(
+                f"identity expected dim {self.output_dim}, got {x.shape[1]}"
+            )
+        return x
+
+
+class StandardizeTransform(FeatureTransform):
+    """Per-feature standardization (zero mean, unit variance)."""
+
+    def __init__(self, input_dim: int, name: str = "standardize"):
+        super().__init__()
+        self.name = name
+        self.output_dim = input_dim
+        self.cost_per_sample = 1e-7
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardizeTransform":
+        x = self._check_input(x)
+        self._mean = x.mean(axis=0)
+        self._std = np.maximum(x.std(axis=0), 1e-12)
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise DataValidationError("standardize: call fit() before transform()")
+        x = self._check_input(x)
+        return (x - self._mean) / self._std
+
+
+class PCATransform(FeatureTransform):
+    """Principal component analysis via SVD of the centered training data.
+
+    Matches the paper's PCA32/PCA64/PCA128 catalog entries, which are fit
+    on the training set and applied to both splits.
+    """
+
+    def __init__(self, num_components: int, name: str | None = None):
+        super().__init__()
+        if num_components < 1:
+            raise DataValidationError(
+                f"num_components must be >= 1, got {num_components}"
+            )
+        self.name = name or f"pca_{num_components}"
+        self.output_dim = num_components
+        self.cost_per_sample = 1e-6
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCATransform":
+        x = self._check_input(x)
+        if self.output_dim > min(x.shape):
+            raise DataValidationError(
+                f"pca: {self.output_dim} components exceed "
+                f"min(n, d) = {min(x.shape)}"
+            )
+        self._mean = x.mean(axis=0)
+        centered = x - self._mean
+        # Right singular vectors give the principal directions.
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        self._components = vt[: self.output_dim]
+        self._fitted = True
+        return self
+
+    @property
+    def components(self) -> np.ndarray:
+        if self._components is None:
+            raise DataValidationError("pca: not fitted")
+        return self._components.copy()
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._components is None:
+            raise DataValidationError("pca: call fit() before transform()")
+        x = self._check_input(x)
+        return (x - self._mean) @ self._components.T
+
+
+class RandomProjectionTransform(FeatureTransform):
+    """Gaussian random projection (Johnson–Lindenstrauss style)."""
+
+    def __init__(self, num_components: int, seed: SeedLike = None, name: str | None = None):
+        super().__init__()
+        if num_components < 1:
+            raise DataValidationError(
+                f"num_components must be >= 1, got {num_components}"
+            )
+        self.name = name or f"random_projection_{num_components}"
+        self.output_dim = num_components
+        self.cost_per_sample = 5e-7
+        self._seed = seed
+        self._matrix: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "RandomProjectionTransform":
+        x = self._check_input(x)
+        rng = ensure_rng(self._seed)
+        self._matrix = rng.normal(
+            scale=1.0 / np.sqrt(self.output_dim), size=(x.shape[1], self.output_dim)
+        )
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._matrix is None:
+            raise DataValidationError(
+                "random_projection: call fit() before transform()"
+            )
+        x = self._check_input(x)
+        if x.shape[1] != self._matrix.shape[0]:
+            raise DataValidationError(
+                f"random_projection expected dim {self._matrix.shape[0]}, "
+                f"got {x.shape[1]}"
+            )
+        return x @ self._matrix

@@ -1,0 +1,133 @@
+"""Simulated pre-trained embeddings.
+
+The paper's catalog consists of embeddings downloaded from TF-Hub /
+PyTorch Hub / HuggingFace.  Those are unavailable offline, so this module
+provides the substitution documented in DESIGN.md: a *deterministic*
+transformation whose single ``fidelity`` parameter interpolates between
+
+- ``fidelity -> 1``: a rotation of the task's discriminative latent
+  factors (low transformation bias, fast 1NN convergence — the behaviour
+  of a strong pre-trained embedding on a matching task), and
+- ``fidelity -> 0``: a fixed random non-linear feature map of the raw
+  input (high transformation bias, slow convergence — a poorly matched
+  embedding).
+
+Determinism is essential: the theory behind Snoopy's min-aggregation
+(Section IV-B) relies on transformations being deterministic functions of
+the input, so the "noise" component is a hash-like random-feature map,
+not sampled noise.
+
+Both components are scaled to unit RMS at :meth:`fit` time so that
+``fidelity`` has the same meaning across datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.rng import SeedLike, ensure_rng
+from repro.transforms.base import FeatureTransform
+
+
+class SimulatedEmbedding(FeatureTransform):
+    """A quality-parameterized stand-in for a pre-trained embedding.
+
+    Parameters
+    ----------
+    name:
+        Catalog name (e.g. ``"efficientnet_b4"``).
+    output_dim:
+        Dimensionality of the produced representation.
+    fidelity:
+        In [0, 1]; how much of the representation is signal (recovered
+        latent factors) versus fixed non-linear distortion of the input.
+    cost_per_sample:
+        Simulated accelerator seconds per embedded sample; mirrors the
+        relative inference cost of the real model.
+    latent_projection:
+        Matrix of shape (latent_dim, raw_dim) recovering the task's
+        latent factors from raw features.  Provided by the dataset's
+        generator; see :mod:`repro.datasets.synthetic`.
+    seed:
+        Seeds the random signal rotation and the distortion map, i.e.
+        the identity of this particular "pre-trained model".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        output_dim: int,
+        fidelity: float,
+        cost_per_sample: float,
+        latent_projection: np.ndarray,
+        seed: SeedLike = None,
+        paper_dim: int | None = None,
+        source: str = "simulated",
+    ):
+        super().__init__()
+        if not 0.0 <= fidelity <= 1.0:
+            raise DataValidationError(
+                f"fidelity must be in [0, 1], got {fidelity}"
+            )
+        if output_dim < 1:
+            raise DataValidationError(f"output_dim must be >= 1, got {output_dim}")
+        latent_projection = np.asarray(latent_projection, dtype=np.float64)
+        if latent_projection.ndim != 2:
+            raise DataValidationError("latent_projection must be 2-D (k, D)")
+        self.name = name
+        self.output_dim = output_dim
+        self.fidelity = float(fidelity)
+        self.cost_per_sample = float(cost_per_sample)
+        self.paper_dim = paper_dim or output_dim
+        self.source = source
+        self._latent_projection = latent_projection
+        rng = ensure_rng(seed)
+        latent_dim, raw_dim = latent_projection.shape
+        # Random rotation lifting latent factors into the output space.
+        lift = rng.normal(size=(output_dim, latent_dim))
+        q, _ = np.linalg.qr(lift) if output_dim >= latent_dim else (lift, None)
+        self._signal_map = (
+            q[:, :latent_dim] if output_dim >= latent_dim else lift
+        )
+        # Fixed random-feature distortion of the raw input — deterministic
+        # and high-frequency, so low-fidelity embeddings scramble the
+        # metric structure instead of re-encoding it.
+        self._distortion_weights = rng.normal(
+            scale=3.0 / np.sqrt(raw_dim), size=(output_dim, raw_dim)
+        )
+        self._distortion_bias = rng.uniform(-np.pi, np.pi, size=output_dim)
+        self._signal_scale: float | None = None
+        self._distortion_scale: float | None = None
+
+    def _signal_part(self, x: np.ndarray) -> np.ndarray:
+        latent = x @ self._latent_projection.T
+        return latent @ self._signal_map.T
+
+    def _distortion_part(self, x: np.ndarray) -> np.ndarray:
+        return np.cos(x @ self._distortion_weights.T + self._distortion_bias)
+
+    def fit(self, x: np.ndarray) -> "SimulatedEmbedding":
+        """Calibrate the RMS of the two components on training data."""
+        x = self._check_input(x)
+        if x.shape[1] != self._latent_projection.shape[1]:
+            raise DataValidationError(
+                f"{self.name}: expected raw dim "
+                f"{self._latent_projection.shape[1]}, got {x.shape[1]}"
+            )
+        signal = self._signal_part(x)
+        distortion = self._distortion_part(x)
+        self._signal_scale = max(float(np.sqrt(np.mean(signal**2))), 1e-12)
+        self._distortion_scale = max(
+            float(np.sqrt(np.mean(distortion**2))), 1e-12
+        )
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._signal_scale is None or self._distortion_scale is None:
+            raise DataValidationError(f"{self.name}: call fit() before transform()")
+        x = self._check_input(x)
+        signal = self._signal_part(x) / self._signal_scale
+        distortion = self._distortion_part(x) / self._distortion_scale
+        return self.fidelity * signal + (1.0 - self.fidelity) * distortion

@@ -1,0 +1,149 @@
+"""Unit tests for the from-scratch models (softmax regression, MLP, zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.logistic_regression import SoftmaxRegression, _one_hot, _softmax
+from repro.baselines.mlp import TwoLayerMLP
+from repro.baselines.model_zoo import (
+    GaussianNaiveBayes,
+    KNNClassifierModel,
+    NearestCentroidClassifier,
+    RidgeClassifier,
+)
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(8)
+    centers = np.array([[0.0, 0.0, 0.0], [4.0, 4.0, 0.0], [0.0, 4.0, 4.0]])
+    y = rng.integers(0, 3, 450)
+    x = centers[y] + rng.normal(size=(450, 3))
+    return x[:300], y[:300], x[300:], y[300:]
+
+
+ALL_MODELS = [
+    SoftmaxRegression(learning_rate=0.1, num_epochs=15, seed=0),
+    TwoLayerMLP(hidden_units=16, num_epochs=15, seed=0),
+    NearestCentroidClassifier(),
+    GaussianNaiveBayes(),
+    RidgeClassifier(alpha=1.0),
+    KNNClassifierModel(k=5),
+]
+
+
+class TestCommonProtocol:
+    @pytest.mark.parametrize(
+        "model", ALL_MODELS, ids=lambda m: type(m).__name__
+    )
+    def test_learns_separated_blobs(self, model, blobs):
+        train_x, train_y, test_x, test_y = blobs
+        model.fit(train_x, train_y, 3)
+        assert model.error(test_x, test_y) < 0.08
+
+    @pytest.mark.parametrize(
+        "model", ALL_MODELS, ids=lambda m: type(m).__name__
+    )
+    def test_predictions_in_label_range(self, model, blobs):
+        train_x, train_y, test_x, _ = blobs
+        model.fit(train_x, train_y, 3)
+        predictions = model.predict(test_x)
+        assert set(np.unique(predictions)) <= {0, 1, 2}
+
+
+class TestSoftmaxRegression:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = _softmax(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_softmax_shift_invariant(self, rng):
+        logits = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            _softmax(logits), _softmax(logits + 100.0), atol=1e-12
+        )
+
+    def test_one_hot(self):
+        encoded = _one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            SoftmaxRegression().predict(rng.normal(size=(3, 2)))
+
+    def test_invalid_hyperparams_raise(self):
+        with pytest.raises(DataValidationError):
+            SoftmaxRegression(learning_rate=0.0)
+        with pytest.raises(DataValidationError):
+            SoftmaxRegression(l2=-1.0)
+
+    def test_l2_shrinks_weights(self, blobs):
+        train_x, train_y, *_ = blobs
+        free = SoftmaxRegression(num_epochs=10, seed=0).fit(train_x, train_y, 3)
+        penalized = SoftmaxRegression(l2=0.5, num_epochs=10, seed=0).fit(
+            train_x, train_y, 3
+        )
+        assert np.linalg.norm(penalized._weights) < np.linalg.norm(free._weights)
+
+    def test_deterministic_given_seed(self, blobs):
+        train_x, train_y, test_x, _ = blobs
+        a = SoftmaxRegression(num_epochs=5, seed=9).fit(train_x, train_y, 3)
+        b = SoftmaxRegression(num_epochs=5, seed=9).fit(train_x, train_y, 3)
+        np.testing.assert_array_equal(a.predict(test_x), b.predict(test_x))
+
+
+class TestMLP:
+    def test_solves_xor(self):
+        # Linear models cannot solve XOR; the MLP must.
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        x += rng.normal(scale=0.05, size=x.shape)
+        model = TwoLayerMLP(
+            hidden_units=32, learning_rate=0.1, num_epochs=80, seed=0
+        ).fit(x[:400], y[:400], 2)
+        assert model.error(x[400:], y[400:]) < 0.15
+
+    def test_invalid_hidden_units_raise(self):
+        with pytest.raises(DataValidationError):
+            TwoLayerMLP(hidden_units=0)
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            TwoLayerMLP().predict(rng.normal(size=(3, 2)))
+
+
+class TestZooSpecifics:
+    def test_nearest_centroid_centroids(self, blobs):
+        train_x, train_y, *_ = blobs
+        model = NearestCentroidClassifier().fit(train_x, train_y, 3)
+        np.testing.assert_allclose(
+            model._centroids[0], train_x[train_y == 0].mean(axis=0)
+        )
+
+    def test_naive_bayes_respects_priors(self, rng):
+        # 95/5 class imbalance with overlapping features: the prior must
+        # pull ambiguous points toward the majority class.
+        x = rng.normal(size=(1000, 2))
+        y = (rng.random(1000) < 0.05).astype(int)
+        model = GaussianNaiveBayes().fit(x, y, 2)
+        predictions = model.predict(rng.normal(size=(200, 2)))
+        assert np.mean(predictions == 0) > 0.9
+
+    def test_ridge_alpha_validation(self):
+        with pytest.raises(DataValidationError):
+            RidgeClassifier(alpha=-1.0)
+
+    def test_knn_model_k_validation(self):
+        with pytest.raises(DataValidationError):
+            KNNClassifierModel(k=0)
+
+    def test_knn_k_clamped(self, rng):
+        x = rng.normal(size=(4, 2))
+        y = np.array([0, 1, 0, 1])
+        model = KNNClassifierModel(k=50).fit(x, y, 2)
+        assert len(model.predict(x)) == 4
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(DataValidationError):
+            NearestCentroidClassifier().fit(np.zeros((0, 2)), np.zeros(0), 2)

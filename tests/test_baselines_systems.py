@@ -1,0 +1,156 @@
+"""Unit tests for the baseline systems: LR proxy, AutoML, fine-tune, strawman."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.automl import (
+    AutoMLSimulator,
+    CandidateConfig,
+    default_search_space,
+)
+from repro.baselines.finetune import FineTuneBaseline
+from repro.baselines.logistic_regression import LogisticRegressionBaseline
+from repro.baselines.proxy import constant_downscale, plug_into_cover_hart
+from repro.estimators.cover_hart import cover_hart_lower_bound
+from repro.exceptions import BudgetError, DataValidationError
+
+
+class TestLRBaseline:
+    def test_run_reports_best_transform(self, dataset, catalog):
+        baseline = LogisticRegressionBaseline(
+            catalog, num_epochs=3, seed=0,
+            learning_rates=(0.1,), l2_values=(0.0,),
+        )
+        result = baseline.run(dataset)
+        assert result.best_transform in catalog.names
+        assert result.best_error == min(result.errors_by_transform.values())
+        assert 0.0 <= result.best_error <= 1.0
+        assert result.sim_cost_seconds > 0
+        assert result.grid_evaluations == len(catalog)
+
+    def test_grid_size_accounting(self, dataset, catalog):
+        baseline = LogisticRegressionBaseline(
+            catalog, num_epochs=2, seed=0,
+            learning_rates=(0.01, 0.1), l2_values=(0.0, 0.01),
+        )
+        result = baseline.run(dataset)
+        assert result.grid_evaluations == 4 * len(catalog)
+
+    def test_empty_catalog_raises(self):
+        with pytest.raises(DataValidationError):
+            LogisticRegressionBaseline([])
+
+    def test_best_accuracy_property(self, dataset, catalog):
+        baseline = LogisticRegressionBaseline(
+            catalog, num_epochs=2, seed=0,
+            learning_rates=(0.1,), l2_values=(0.0,),
+        )
+        result = baseline.run(dataset)
+        assert result.best_accuracy == pytest.approx(1.0 - result.best_error)
+
+
+class TestAutoML:
+    def test_default_space_size(self):
+        # 2 parameter-free + 3 ridge + 3 knn + 2 LR + 6 MLP configs.
+        assert len(default_search_space()) == 16
+
+    def test_run_with_large_budget_evaluates_everything(self, dataset):
+        automl = AutoMLSimulator(sim_budget_seconds=1e9, seed=0)
+        result = automl.run(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert result.evaluations == len(default_search_space())
+        assert 0.0 <= result.best_error <= 1.0
+
+    def test_budget_limits_evaluations(self, dataset):
+        tiny = AutoMLSimulator(sim_budget_seconds=1e-5, seed=0)
+        result = tiny.run(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        # At least one candidate always runs, but not all fit the budget.
+        assert 1 <= result.evaluations < len(default_search_space())
+
+    def test_more_budget_never_hurts(self, dataset):
+        small = AutoMLSimulator(sim_budget_seconds=0.05, seed=0).run(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        large = AutoMLSimulator(sim_budget_seconds=1e9, seed=0).run(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert large.best_error <= small.best_error + 1e-12
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(BudgetError):
+            AutoMLSimulator(sim_budget_seconds=0.0)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(BudgetError):
+            CandidateConfig("quantum").build(seed=0)
+
+    def test_trace_records_evaluations(self, dataset):
+        result = AutoMLSimulator(sim_budget_seconds=1e9, seed=0).run(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert len(result.trace) == result.evaluations
+
+
+class TestFineTune:
+    def test_backbone_is_highest_fidelity(self, catalog):
+        baseline = FineTuneBaseline(catalog)
+        assert baseline.backbone().name == "emb_high"
+
+    def test_run_beats_chance(self, dataset, catalog):
+        baseline = FineTuneBaseline(
+            catalog, learning_rates=(0.05,), num_epochs=10, seed=0
+        )
+        result = baseline.run(dataset)
+        chance = 1.0 - 1.0 / dataset.num_classes
+        assert result.test_error < chance
+        assert result.embedding_name == "emb_high"
+
+    def test_sim_cost_dominates_inference(self, dataset, catalog):
+        baseline = FineTuneBaseline(
+            catalog, learning_rates=(0.05,), num_epochs=10, seed=0
+        )
+        result = baseline.run(dataset)
+        # Fine-tuning must cost far more than embedding the dataset once.
+        inference = catalog["emb_high"].inference_cost(
+            dataset.num_train + dataset.num_test
+        )
+        assert result.sim_cost_seconds > 10 * inference
+
+    def test_empty_catalog_raises(self):
+        with pytest.raises(DataValidationError):
+            FineTuneBaseline([])
+
+
+class TestProxyStrawman:
+    def test_constant_downscale(self):
+        assert constant_downscale(0.4, 2.0) == pytest.approx(0.2)
+
+    def test_factor_below_one_raises(self):
+        with pytest.raises(DataValidationError):
+            constant_downscale(0.4, 0.5)
+
+    def test_error_out_of_range_raises(self):
+        with pytest.raises(DataValidationError):
+            constant_downscale(1.4, 2.0)
+
+    def test_plug_into_cover_hart_matches_formula(self):
+        assert plug_into_cover_hart(0.3, 5) == pytest.approx(
+            cover_hart_lower_bound(0.3, 5)
+        )
+
+    def test_downscaled_lr_error_can_underestimate(self):
+        # The Figure 2 (right) phenomenon: plugging a *good* classifier's
+        # error (close to the BER itself, not to the 1NN error ~ 2x BER)
+        # into Eq. 2 halves it and lands below the true BER.
+        true_ber = 0.2
+        good_model_error = 0.22  # a strong proxy is close to the BER
+        strawman = plug_into_cover_hart(good_model_error, 2)
+        assert strawman < true_ber

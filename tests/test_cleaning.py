@@ -1,0 +1,268 @@
+"""Unit tests for the cleaning subpackage (costs, simulator, strategies)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.costs import (
+    CHEAP_LABEL_COST,
+    CostModel,
+    EXPENSIVE_LABEL_COST,
+)
+from repro.cleaning.simulator import CleaningSession
+from repro.cleaning.strategies import (
+    run_with_feasibility_study,
+    run_without_feasibility_study,
+)
+from repro.cleaning.workflow import make_noisy_dataset, run_end_to_end
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture()
+def noisy(dataset):
+    return make_noisy_dataset(dataset, 0.4, rng=0)
+
+
+class _CheapTrainer:
+    """A fast stand-in for the fine-tune baseline in strategy tests."""
+
+    def __init__(self, sim_cost=100.0):
+        self.sim_cost = sim_cost
+        self.calls = 0
+
+    def run(self, dataset):
+        from repro.baselines.finetune import FineTuneResult
+        from repro.knn.brute_force import BruteForceKNN
+
+        self.calls += 1
+        error = (
+            BruteForceKNN()
+            .fit(dataset.train_x, dataset.train_y)
+            .error(dataset.test_x, dataset.test_y)
+        )
+        return FineTuneResult(
+            test_error=error, sim_cost_seconds=self.sim_cost,
+            wall_seconds=0.0, embedding_name="raw", learning_rate=0.1,
+        )
+
+
+class TestCostModel:
+    def test_regimes(self):
+        assert CostModel.for_regime("free").label_cost_dollars == 0.0
+        assert CostModel.for_regime("cheap").label_cost_dollars == CHEAP_LABEL_COST
+        assert (
+            CostModel.for_regime("expensive").label_cost_dollars
+            == EXPENSIVE_LABEL_COST
+        )
+
+    def test_unknown_regime_raises(self):
+        with pytest.raises(DataValidationError):
+            CostModel.for_regime("luxury")
+
+    def test_label_cost(self):
+        assert CostModel(label_cost_dollars=0.002).labels(500) == pytest.approx(1.0)
+
+    def test_compute_cost(self):
+        model = CostModel(machine_dollars_per_hour=0.9)
+        assert model.compute(3600.0) == pytest.approx(0.9)
+
+    def test_negative_inputs_raise(self):
+        model = CostModel()
+        with pytest.raises(DataValidationError):
+            model.labels(-1)
+        with pytest.raises(DataValidationError):
+            model.compute(-1.0)
+
+
+class TestCleaningSession:
+    def test_requires_noisy_dataset(self, dataset):
+        with pytest.raises(DataValidationError):
+            CleaningSession(dataset)
+
+    def test_full_clean_restores_everything(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        session.clean_fraction(1.0)
+        assert session.all_cleaned
+        assert session.remaining_noise_rate() == 0.0
+        restored = session.current_dataset()
+        np.testing.assert_array_equal(restored.train_y, noisy.clean_train_y)
+        np.testing.assert_array_equal(restored.test_y, noisy.clean_test_y)
+
+    def test_partial_clean_reduces_noise(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        before = session.remaining_noise_rate()
+        session.clean_fraction(0.5)
+        after = session.remaining_noise_rate()
+        assert after < before
+        assert session.fraction_examined == pytest.approx(0.5)
+
+    def test_cleaning_is_incremental_not_overlapping(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        first = session.clean_fraction(0.3)
+        second = session.clean_fraction(0.3)
+        touched_first = set(first.train_indices.tolist())
+        touched_second = set(second.train_indices.tolist())
+        assert not touched_first & touched_second
+
+    def test_clean_past_end_truncates(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        session.clean_fraction(0.9)
+        step = session.clean_fraction(0.9)
+        assert session.all_cleaned
+        assert step.num_examined <= int(0.9 * session.total_samples)
+
+    def test_step_reports_corrections(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        step = session.clean_fraction(0.2)
+        assert step.num_examined == pytest.approx(
+            0.2 * session.total_samples, abs=1
+        )
+        # Restored labels are the clean ones at those indices.
+        np.testing.assert_array_equal(
+            step.train_labels, noisy.clean_train_y[step.train_indices]
+        )
+
+    def test_invalid_fraction_raises(self, noisy):
+        session = CleaningSession(noisy, rng=0)
+        with pytest.raises(DataValidationError):
+            session.clean_fraction(0.0)
+
+
+@pytest.fixture()
+def strong_trainer(catalog):
+    """The real fine-tune analogue (reaches ~0.68 accuracy when clean)."""
+    from repro.baselines.finetune import FineTuneBaseline
+
+    return FineTuneBaseline(catalog, learning_rates=(0.05,), num_epochs=15, seed=0)
+
+
+class TestStrategies:
+    def test_without_fs_reaches_target(self, noisy, strong_trainer):
+        cost_model = CostModel.for_regime("cheap")
+        session = CleaningSession(noisy, rng=0)
+        trace = run_without_feasibility_study(
+            session, strong_trainer, target_accuracy=0.62,
+            step_fraction=0.10, cost_model=cost_model,
+        )
+        assert trace.reached_target
+        assert trace.total_dollars > 0
+
+    def test_without_fs_small_steps_cost_more_compute(self, noisy):
+        cost_model = CostModel.for_regime("free")
+        small = run_without_feasibility_study(
+            CleaningSession(noisy, rng=0), _CheapTrainer(), 0.55, 0.02, cost_model
+        )
+        large = run_without_feasibility_study(
+            CleaningSession(noisy, rng=0), _CheapTrainer(), 0.55, 0.50, cost_model
+        )
+        assert small.num_expensive_runs >= large.num_expensive_runs
+
+    def test_with_fs_snoopy_trains_rarely(self, noisy, catalog, strong_trainer):
+        cost_model = CostModel.for_regime("cheap")
+        session = CleaningSession(noisy, rng=0)
+        trace = run_with_feasibility_study(
+            session, strong_trainer, target_accuracy=0.62,
+            cost_model=cost_model,
+            feasibility="snoopy", catalog=catalog, clean_step=0.05,
+        )
+        assert trace.reached_target
+        # The whole point: feasibility checks gate the expensive runs, so
+        # far fewer than the ~20 cleaning steps trigger a training run.
+        assert trace.num_expensive_runs <= 5
+
+    def test_with_fs_lr_runs(self, noisy, catalog):
+        trainer = _CheapTrainer()
+        cost_model = CostModel.for_regime("cheap")
+        session = CleaningSession(noisy, rng=0)
+        trace = run_with_feasibility_study(
+            session, trainer, target_accuracy=0.55, cost_model=cost_model,
+            feasibility="lr", catalog=catalog, clean_step=0.10, lr_epochs=2,
+        )
+        assert trace.total_dollars > 0
+        assert any(p.action == "feasibility" for p in trace.points)
+
+    def test_requires_catalog(self, noisy):
+        with pytest.raises(DataValidationError):
+            run_with_feasibility_study(
+                CleaningSession(noisy, rng=0), _CheapTrainer(), 0.5,
+                CostModel(), catalog=None,
+            )
+
+    def test_unknown_feasibility_raises(self, noisy, catalog):
+        with pytest.raises(DataValidationError):
+            run_with_feasibility_study(
+                CleaningSession(noisy, rng=0), _CheapTrainer(), 0.5,
+                CostModel(), feasibility="magic", catalog=catalog,
+            )
+
+    def test_invalid_target_raises(self, noisy):
+        with pytest.raises(DataValidationError):
+            run_without_feasibility_study(
+                CleaningSession(noisy, rng=0), _CheapTrainer(), 1.5, 0.1,
+                CostModel(),
+            )
+
+
+class TestWorkflow:
+    def test_make_noisy_dataset(self, dataset):
+        noisy = make_noisy_dataset(dataset, 0.3, rng=0)
+        assert noisy.is_noisy
+        assert noisy.extras["noise_rho"] == 0.3
+        # Realized flips ~ rho * (1 - 1/C).
+        expected = 0.3 * (1 - 1 / dataset.num_classes)
+        assert abs(noisy.label_noise_rate() - expected) < 0.05
+
+    def test_end_to_end_cell(self, dataset, catalog, strong_trainer):
+        outcome = run_end_to_end(
+            dataset, strong_trainer, catalog,
+            noise_rho=0.4, target_accuracy=0.62, label_regime="cheap",
+            step_fractions=(0.25,), include_lr=False, seed=0,
+        )
+        assert "fs_snoopy" in outcome.traces
+        assert "finetune_step_0.25" in outcome.traces
+        assert 0.0 <= outcome.min_fraction_to_target <= 1.0
+        cheapest = outcome.cheapest_successful()
+        assert cheapest is not None
+
+
+class TestRepeatedWorkflow:
+    def test_means_over_runs(self, dataset, catalog, strong_trainer):
+        from repro.cleaning.workflow import run_end_to_end_repeated
+
+        summary = run_end_to_end_repeated(
+            dataset, strong_trainer, catalog,
+            noise_rho=0.3, target_accuracy=0.62, num_runs=2,
+            label_regime="cheap", step_fractions=(0.5,), seed=0,
+        )
+        assert summary.num_runs == 2
+        assert len(summary.outcomes) == 2
+        assert set(summary.mean_dollars) == {"finetune_step_0.5", "fs_snoopy"}
+        for value in summary.mean_dollars.values():
+            assert value > 0
+        for rate in summary.success_rate.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_runs_use_independent_noise(self, dataset, catalog, strong_trainer):
+        from repro.cleaning.workflow import run_end_to_end_repeated
+
+        summary = run_end_to_end_repeated(
+            dataset, strong_trainer, catalog,
+            noise_rho=0.3, target_accuracy=0.62, num_runs=2,
+            label_regime="free", step_fractions=(0.5,), seed=0,
+        )
+        traces = [o.traces["fs_snoopy"] for o in summary.outcomes]
+        # Different seeds -> different noise draws -> different traces.
+        assert (
+            traces[0].total_dollars != traces[1].total_dollars
+            or traces[0].final_fraction_examined
+            != traces[1].final_fraction_examined
+        )
+
+    def test_invalid_num_runs_raises(self, dataset, catalog, strong_trainer):
+        from repro.cleaning.workflow import run_end_to_end_repeated
+        from repro.exceptions import DataValidationError
+
+        with pytest.raises(DataValidationError):
+            run_end_to_end_repeated(
+                dataset, strong_trainer, catalog,
+                noise_rho=0.3, target_accuracy=0.6, num_runs=0,
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for min-aggregation and the Section IV-B regime analysis."""
+
+import pytest
+
+from repro.core.aggregation import (
+    RegimeQuantities,
+    aggregate_min,
+    condition_8_holds,
+    condition_9_holds,
+    estimate_regime_quantities,
+)
+from repro.estimators.base import BEREstimate
+from repro.exceptions import DataValidationError
+from repro.transforms.pretrained import SimulatedEmbedding
+
+
+class TestAggregateMin:
+    def test_picks_minimum(self):
+        estimates = {
+            "a": BEREstimate(0.3),
+            "b": BEREstimate(0.1),
+            "c": BEREstimate(0.2),
+        }
+        name, best = aggregate_min(estimates)
+        assert name == "b"
+        assert best.value == 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            aggregate_min({})
+
+    def test_single_entry(self):
+        name, best = aggregate_min({"only": BEREstimate(0.5)})
+        assert name == "only"
+
+
+class TestRegimeQuantities:
+    def _quantities(self, raw=0.1, transformed=0.15, limit=0.12, at_n=0.2):
+        return RegimeQuantities(
+            transform_name="t", ber_raw=raw, ber_transformed=transformed,
+            estimator_limit=limit, estimate_at_n=at_n, samples=1000,
+        )
+
+    def test_definitions(self):
+        q = self._quantities()
+        assert q.transformation_bias == pytest.approx(0.05)
+        assert q.asymptotic_tightness == pytest.approx(0.03)
+        assert q.finite_sample_gap == pytest.approx(0.08)
+        assert q.condition_8_margin == pytest.approx(0.05 + 0.08 - 0.03)
+
+    def test_condition_8(self):
+        good = self._quantities()
+        # bias = 0.02, gap = -0.07, tightness = 0 -> margin = -0.05 < 0.
+        bad = self._quantities(transformed=0.12, limit=0.12, at_n=0.05)
+        assert condition_8_holds([good])
+        assert not condition_8_holds([good, bad])
+
+    def test_condition_9_weaker_than_8(self):
+        marginal = self._quantities(transformed=0.12, limit=0.12, at_n=0.05)
+        assert not condition_8_holds([marginal])
+        assert condition_9_holds([marginal], identity_tightness=0.2)
+
+
+class TestEstimateRegimeQuantities:
+    def test_on_known_task(self, dataset):
+        embedding = SimulatedEmbedding(
+            "probe", 16, 0.9, 1e-4,
+            dataset.oracle.latent_projection, seed=0,
+        )
+        q = estimate_regime_quantities(dataset, embedding, rng=0)
+        assert q.ber_raw == pytest.approx(dataset.true_ber)
+        assert q.samples == dataset.num_train
+        # Empirical surrogates must be sane probabilities.
+        assert 0.0 <= q.ber_transformed <= 1.0
+        assert 0.0 <= q.estimator_limit <= 1.0
+        assert q.estimator_limit <= q.estimate_at_n + 1e-9
+
+    def test_requires_oracle(self, dataset):
+        from dataclasses import replace
+
+        plain = replace(dataset, oracle=None)
+        embedding = SimulatedEmbedding(
+            "probe", 8, 0.5, 1e-4, dataset.oracle.latent_projection, seed=0
+        )
+        with pytest.raises(DataValidationError, match="oracle"):
+            estimate_regime_quantities(plain, embedding)
+
+    def test_high_fidelity_embedding_has_low_bias(self, dataset):
+        high = SimulatedEmbedding(
+            "hi", 16, 0.95, 1e-4, dataset.oracle.latent_projection, seed=0
+        )
+        low = SimulatedEmbedding(
+            "lo", 16, 0.15, 1e-4, dataset.oracle.latent_projection, seed=0
+        )
+        q_high = estimate_regime_quantities(dataset, high, rng=0)
+        q_low = estimate_regime_quantities(dataset, low, rng=0)
+        assert q_high.transformation_bias < q_low.transformation_bias

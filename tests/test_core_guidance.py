@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.guidance (Eq. 10 log-linear extrapolation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guidance import (
+    ExtrapolationResult,
+    LogLinearFit,
+    extrapolate_samples_needed,
+    fit_log_linear,
+)
+from repro.exceptions import ConvergenceError
+
+
+def _power_law_curve(alpha=0.5, c=1.0, sizes=(100, 200, 400, 800, 1600)):
+    sizes = np.array(sizes, dtype=float)
+    errors = np.exp(c) * sizes ** (-alpha)
+    return sizes, errors
+
+
+class TestFit:
+    def test_recovers_exact_power_law(self):
+        sizes, errors = _power_law_curve(alpha=0.7, c=0.3)
+        fit = fit_log_linear(sizes, errors)
+        assert fit.alpha == pytest.approx(0.7, abs=1e-9)
+        assert fit.intercept == pytest.approx(0.3, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_prediction_roundtrip(self):
+        sizes, errors = _power_law_curve()
+        fit = fit_log_linear(sizes, errors)
+        assert fit.predict_error(sizes[-1]) == pytest.approx(errors[-1])
+
+    def test_samples_for_error_inverts_prediction(self):
+        sizes, errors = _power_law_curve(alpha=0.5, c=1.0)
+        fit = fit_log_linear(sizes, errors)
+        target = errors[-1] / 2
+        n = fit.samples_for_error(target)
+        assert fit.predict_error(n) == pytest.approx(target, rel=1e-9)
+
+    def test_flat_curve_reports_infinite_requirement(self):
+        fit = LogLinearFit(alpha=0.0, intercept=-1.0, r_squared=0.0, num_points=5)
+        assert fit.samples_for_error(0.01) == float("inf")
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ConvergenceError):
+            fit_log_linear(np.array([10, 20]), np.array([0.5, 0.4]))
+
+    def test_zero_errors_filtered(self):
+        sizes = np.array([10, 20, 40, 80, 160], dtype=float)
+        errors = np.array([0.4, 0.3, 0.2, 0.0, 0.0])
+        fit = fit_log_linear(sizes, errors)
+        assert fit.num_points == 3
+
+    def test_noisy_curve_r_squared_below_one(self, rng):
+        sizes, errors = _power_law_curve(sizes=tuple(2**k for k in range(5, 13)))
+        noisy = errors * np.exp(rng.normal(scale=0.2, size=len(errors)))
+        fit = fit_log_linear(sizes, noisy)
+        assert 0.0 < fit.r_squared < 1.0
+
+    def test_invalid_target_raises(self):
+        sizes, errors = _power_law_curve()
+        fit = fit_log_linear(sizes, errors)
+        with pytest.raises(ConvergenceError):
+            fit.samples_for_error(0.0)
+        with pytest.raises(ConvergenceError):
+            fit.predict_error(-5)
+
+
+class TestExtrapolation:
+    def test_target_already_reached(self):
+        sizes, errors = _power_law_curve()
+        result = extrapolate_samples_needed("t", sizes, errors, errors[-1] * 2)
+        assert result.additional_samples == 0.0
+        assert result.trustworthy
+
+    def test_near_target_trustworthy(self):
+        sizes, errors = _power_law_curve(alpha=1.0)
+        # Halving the error under alpha=1 requires doubling n: within the
+        # default 4x horizon.
+        result = extrapolate_samples_needed("t", sizes, errors, errors[-1] / 2)
+        assert result.trustworthy
+        assert result.required_samples == pytest.approx(2 * sizes[-1], rel=1e-6)
+
+    def test_far_target_not_trustworthy(self):
+        sizes, errors = _power_law_curve(alpha=0.3)
+        result = extrapolate_samples_needed("t", sizes, errors, errors[-1] / 100)
+        assert not result.trustworthy
+        assert result.additional_samples > 0
+
+    def test_describe_mentions_transform(self):
+        sizes, errors = _power_law_curve()
+        result = extrapolate_samples_needed("my_embedding", sizes, errors, 0.01)
+        assert "my_embedding" in result.describe()
+
+    def test_describe_flat_curve(self):
+        result = ExtrapolationResult(
+            transform_name="t", target_error=0.01, current_samples=100,
+            current_error=0.5, required_samples=float("inf"),
+            additional_samples=float("inf"), trustworthy=False,
+            fit=LogLinearFit(0.0, -0.7, 0.0, 5),
+        )
+        assert "unreachable" in result.describe()

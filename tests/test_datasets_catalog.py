@@ -1,0 +1,123 @@
+"""Unit tests for the paper-dataset catalog, CIFAR-N variants and VTAB."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import DATASET_SPECS, dataset_names, load
+from repro.datasets.cifar_n import (
+    CIFAR_N_STATS,
+    cifar_n_transition,
+    cifar_n_variant_names,
+    load_cifar_n,
+)
+from repro.datasets.vtab import VTAB_TASK_NAMES, load_vtab_suite, load_vtab_task
+from repro.exceptions import DataValidationError
+
+
+class TestTable1Catalog:
+    def test_six_datasets(self):
+        assert dataset_names() == [
+            "mnist", "cifar10", "cifar100", "imdb", "sst2", "yelp",
+        ]
+
+    def test_spec_statistics_match_table1(self):
+        spec = DATASET_SPECS["cifar100"]
+        assert spec.num_classes == 100
+        assert spec.paper_train == 50_000
+        assert spec.paper_test == 10_000
+        assert spec.sota_error == pytest.approx(0.0649)
+
+    def test_scaled_sizes_floor(self):
+        train, test = DATASET_SPECS["mnist"].scaled_sizes(0.0001)
+        assert train == 256
+        assert test == 128
+
+    def test_scale_out_of_range_raises(self):
+        with pytest.raises(DataValidationError):
+            DATASET_SPECS["mnist"].scaled_sizes(0.0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DataValidationError, match="unknown dataset"):
+            load("imagenet")
+
+    def test_load_shapes_and_metadata(self):
+        ds = load("cifar10", scale=0.01, seed=0)
+        assert ds.num_classes == 10
+        assert ds.num_train == 500
+        assert ds.modality == "vision"
+        assert ds.sota_error == pytest.approx(0.0063)
+        assert ds.oracle is not None
+
+    def test_clean_ber_calibrated_to_half_sota(self):
+        ds = load("cifar100", scale=0.01, seed=0)
+        target = 0.5 * DATASET_SPECS["cifar100"].sota_error
+        assert ds.true_ber == pytest.approx(target, rel=0.4)
+
+    def test_same_task_across_seeds(self):
+        a = load("imdb", scale=0.01, seed=0)
+        b = load("imdb", scale=0.01, seed=1)
+        # Different draws, same distribution: identical oracle.
+        assert a.true_ber == b.true_ber
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_text_modality(self):
+        assert load("sst2", scale=0.005, seed=0).modality == "text"
+
+
+class TestCifarN:
+    def test_variant_names(self):
+        assert "cifar10_aggre" in cifar_n_variant_names()
+        assert "cifar100_noisy" in cifar_n_variant_names()
+
+    @pytest.mark.parametrize("name", list(CIFAR_N_STATS))
+    def test_transition_matches_published_stats(self, name):
+        stats = CIFAR_N_STATS[name]
+        t = cifar_n_transition(name, rng=0)
+        assert t.flip_fractions.max() == pytest.approx(stats.max_flip, abs=0.01)
+        assert t.flip_fractions.min() == pytest.approx(stats.min_flip, abs=0.01)
+        assert abs(t.noise_level() - stats.noise_level) < 0.03
+        assert t.max_off_diagonal() <= stats.max_off_diagonal + 0.01
+
+    @pytest.mark.parametrize("name", list(CIFAR_N_STATS))
+    def test_transition_preserves_argmax(self, name):
+        assert cifar_n_transition(name, rng=0).preserves_argmax()
+
+    def test_load_cifar_n(self):
+        ds = load_cifar_n("cifar10_aggre", scale=0.01, seed=0)
+        assert ds.is_noisy
+        assert ds.name == "cifar10_aggre"
+        realized = ds.label_noise_rate()
+        assert abs(realized - CIFAR_N_STATS["cifar10_aggre"].noise_level) < 0.04
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(DataValidationError):
+            load_cifar_n("cifar10_bogus")
+
+
+class TestVtab:
+    def test_nineteen_tasks(self):
+        assert len(VTAB_TASK_NAMES) == 19
+
+    def test_load_one_task(self):
+        ds = load_vtab_task("eurosat", seed=0)
+        assert ds.num_train == 1000
+        assert ds.num_test == 500
+        assert ds.num_classes == 10
+        assert ds.extras["suite"] == "vtab"
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            load_vtab_task("no_such_task")
+
+    def test_suite_diversity(self):
+        suite = load_vtab_suite(seed=0)
+        assert len(suite) == 19
+        bers = [ds.true_ber for ds in suite]
+        # The suite must span easy and hard tasks.
+        assert min(bers) < 0.05
+        assert max(bers) > 0.2
+
+    def test_task_identity_independent_of_seed(self):
+        a = load_vtab_task("kitti", seed=0)
+        b = load_vtab_task("kitti", seed=5)
+        assert a.true_ber == b.true_ber

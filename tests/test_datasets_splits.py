@@ -1,0 +1,102 @@
+"""Unit tests for stratified splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    dataset_from_arrays,
+    stratified_kfold,
+    stratified_split,
+)
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture()
+def labels(rng):
+    return rng.integers(0, 4, size=200)
+
+
+class TestStratifiedSplit:
+    def test_partition_is_exact(self, labels):
+        train, test = stratified_split(labels, 0.25, rng=0)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+    def test_every_class_on_both_sides(self, labels):
+        train, test = stratified_split(labels, 0.25, rng=0)
+        assert set(labels[train]) == set(labels[test]) == set(labels)
+
+    def test_fraction_respected(self, labels):
+        _, test = stratified_split(labels, 0.25, rng=0)
+        assert len(test) == pytest.approx(0.25 * len(labels), abs=4)
+
+    def test_rare_class_still_represented(self):
+        labels = np.array([0] * 98 + [1] * 2)
+        train, test = stratified_split(labels, 0.1, rng=0)
+        assert 1 in labels[train]
+        assert 1 in labels[test]
+
+    def test_invalid_fraction_raises(self, labels):
+        with pytest.raises(DataValidationError):
+            stratified_split(labels, 0.0)
+
+    def test_deterministic(self, labels):
+        a = stratified_split(labels, 0.2, rng=5)
+        b = stratified_split(labels, 0.2, rng=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_indices(self, labels):
+        folds = stratified_kfold(labels, 5, rng=0)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+    def test_fold_sizes_balanced(self, labels):
+        folds = stratified_kfold(labels, 5, rng=0)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 4  # one per class at most
+
+    def test_classes_spread_across_folds(self, labels):
+        folds = stratified_kfold(labels, 4, rng=0)
+        for fold in folds:
+            assert len(set(labels[fold])) == len(set(labels))
+
+    def test_too_many_folds_raises(self):
+        with pytest.raises(DataValidationError):
+            stratified_kfold(np.zeros(3, dtype=int), 5)
+
+    def test_num_folds_validation(self, labels):
+        with pytest.raises(DataValidationError):
+            stratified_kfold(labels, 1)
+
+
+class TestDatasetFromArrays:
+    def test_builds_valid_dataset(self, rng):
+        features = rng.normal(size=(120, 6))
+        labels = rng.integers(0, 3, size=120)
+        dataset = dataset_from_arrays(features, labels, rng=0)
+        assert dataset.num_classes == 3
+        assert dataset.num_train + dataset.num_test == 120
+        assert dataset.modality == "vision"
+
+    def test_usable_by_snoopy(self, rng):
+        from repro.core.snoopy import Snoopy
+        from repro.transforms.linear import IdentityTransform, PCATransform
+
+        features = rng.normal(size=(200, 10))
+        labels = (features[:, 0] > 0).astype(int)
+        dataset = dataset_from_arrays(features, labels, rng=0)
+        catalog = [IdentityTransform(10), PCATransform(3)]
+        report = Snoopy(catalog).run(dataset, target_accuracy=0.7)
+        assert 0.0 <= report.ber_estimate <= 1.0
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            dataset_from_arrays(rng.normal(size=(5, 2)), np.zeros(4, dtype=int))
+
+    def test_negative_labels_rejected(self, rng):
+        with pytest.raises(DataValidationError):
+            dataset_from_arrays(
+                rng.normal(size=(5, 2)), np.array([-1, 0, 1, 0, 1])
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for the Cover–Hart bound and the 1NN estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.cover_hart import (
+    OneNNEstimator,
+    cover_hart_interval,
+    cover_hart_lower_bound,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestBoundFormula:
+    def test_zero_error_maps_to_zero(self):
+        assert cover_hart_lower_bound(0.0, 10) == 0.0
+
+    def test_binary_small_error_roughly_half(self):
+        # For small e, bound ~ e / 2 in the binary case.
+        assert cover_hart_lower_bound(0.01, 2) == pytest.approx(0.005, rel=0.01)
+
+    def test_bound_below_error(self):
+        for err in (0.05, 0.2, 0.5, 0.8):
+            for c in (2, 5, 100):
+                assert cover_hart_lower_bound(err, c) <= err
+
+    def test_monotone_in_error(self):
+        values = [cover_hart_lower_bound(e, 5) for e in np.linspace(0, 0.79, 30)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_saturation_beyond_chance(self):
+        # Past (C-1)/C the radicand clips and the bound equals the error.
+        assert cover_hart_lower_bound(0.95, 2) == pytest.approx(0.95)
+
+    def test_exact_value_binary(self):
+        # e = 0.5, C = 2: radicand = 0 -> bound = 0.5.
+        assert cover_hart_lower_bound(0.5, 2) == pytest.approx(0.5)
+
+    def test_interval_ordering(self):
+        lower, upper = cover_hart_interval(0.3, 4)
+        assert lower <= upper == 0.3
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(DataValidationError):
+            cover_hart_lower_bound(1.5, 3)
+        with pytest.raises(DataValidationError):
+            cover_hart_lower_bound(0.2, 1)
+
+    def test_inverse_relationship_with_1nn_asymptotics(self):
+        # The asymptotic 1NN error for BER r (binary) is 2r(1-r); the
+        # bound must recover <= r from it, and be tight for small r.
+        for r in (0.01, 0.05, 0.1, 0.2):
+            one_nn = 2 * r * (1 - r)
+            recovered = cover_hart_lower_bound(one_nn, 2)
+            assert recovered == pytest.approx(r, rel=1e-6)
+
+
+class TestOneNNEstimator:
+    def test_estimate_on_known_task(self, dataset):
+        estimate = OneNNEstimator().estimate(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert 0.0 <= estimate.value <= estimate.upper <= 1.0
+        assert estimate.details["one_nn_error"] == estimate.upper
+
+    def test_value_is_lower_bound_of_error(self, dataset):
+        estimate = OneNNEstimator().estimate(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert estimate.value == pytest.approx(
+            cover_hart_lower_bound(estimate.upper, dataset.num_classes)
+        )
+
+    def test_cosine_metric(self, dataset):
+        estimate = OneNNEstimator(metric="cosine").estimate(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, dataset.num_classes,
+        )
+        assert estimate.details["metric"] == "cosine"
+
+    def test_perfectly_separable_task_estimates_near_zero(self, rng):
+        centers = np.array([[0.0, 0.0], [50.0, 50.0]])
+        y_train = rng.integers(0, 2, 100)
+        y_test = rng.integers(0, 2, 50)
+        x_train = centers[y_train] + rng.normal(size=(100, 2))
+        x_test = centers[y_test] + rng.normal(size=(50, 2))
+        estimate = OneNNEstimator().estimate(x_train, y_train, x_test, y_test, 2)
+        assert estimate.value == 0.0
+
+    def test_empty_train_raises(self, dataset):
+        with pytest.raises(DataValidationError):
+            OneNNEstimator().estimate(
+                np.zeros((0, dataset.raw_dim)), np.zeros(0, dtype=int),
+                dataset.test_x, dataset.test_y, dataset.num_classes,
+            )

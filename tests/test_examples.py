@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ("Feasibility study", "selected"),
+    "label_cleaning_loop.py": ("with Snoopy feasibility study", "reached"),
+    "embedding_selection.py": ("incremental re-run", "speedup"),
+    "estimator_comparison.py": ("FeeBee", "1nn"),
+    "guidance_and_trust.py": ("samples-needed extrapolation", "target"),
+    "drift_monitoring.py": ("DRIFT detected", "Lemma 2.1"),
+    "user_data.py": ("user dataset", "archived"),
+}
+
+
+def test_all_examples_are_covered():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert names == set(EXPECTED_MARKERS), (
+        "examples/ and EXPECTED_MARKERS out of sync"
+    )
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script.name]:
+        assert marker in result.stdout, (
+            f"{script.name}: expected {marker!r} in output"
+        )

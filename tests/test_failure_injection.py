@@ -1,0 +1,121 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not silently.
+
+A feasibility-study system ingests user data; silent NaN propagation
+would produce a confident wrong answer.  These tests pin the validation
+behaviour at the system boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.splits import dataset_from_arrays
+from repro.exceptions import DataValidationError, ReproError
+
+
+def _arrays(rng, n=40, d=4, c=3):
+    return rng.normal(size=(n, d)), rng.integers(0, c, size=n)
+
+
+class TestNonFiniteFeatures:
+    def test_nan_in_train_rejected(self, rng):
+        x, y = _arrays(rng)
+        x[3, 1] = np.nan
+        with pytest.raises(DataValidationError, match="finite"):
+            Dataset("bad", x, y, x[:10].copy(), y[:10], 3)
+
+    def test_inf_in_test_rejected(self, rng):
+        x, y = _arrays(rng)
+        bad_test = x[:10].copy()
+        bad_test[0, 0] = np.inf
+        with pytest.raises(DataValidationError, match="finite"):
+            Dataset("bad", x, y, bad_test, y[:10], 3)
+
+    def test_error_message_points_to_imputation(self, rng):
+        x, y = _arrays(rng)
+        x[0, 0] = np.nan
+        with pytest.raises(DataValidationError, match="inject_missing_features"):
+            Dataset("bad", x, y, x[:5].copy(), y[:5], 3)
+
+    def test_imputed_features_accepted(self, rng):
+        from repro.noise.features import inject_missing_features
+
+        x, y = _arrays(rng)
+        corrupted = inject_missing_features(x, 0.3, rng=0)
+        dataset = dataset_from_arrays(corrupted.noisy_features, y, rng=0)
+        assert dataset.num_train > 0
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro.exceptions import (
+            BudgetError,
+            ConvergenceError,
+            DataValidationError,
+            EstimatorError,
+            TransitionMatrixError,
+        )
+
+        for exc_type in (
+            BudgetError, ConvergenceError, DataValidationError,
+            EstimatorError, TransitionMatrixError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_transition_error_is_data_validation_error(self):
+        from repro.exceptions import DataValidationError, TransitionMatrixError
+
+        assert issubclass(TransitionMatrixError, DataValidationError)
+
+    def test_single_except_clause_catches_everything(self, rng):
+        from repro.noise.transition import TransitionMatrix
+
+        caught = 0
+        try:
+            TransitionMatrix(np.ones((2, 3)))
+        except ReproError:
+            caught += 1
+        try:
+            Dataset("bad", rng.normal(size=(3, 2)), np.zeros(2),
+                    rng.normal(size=(2, 2)), np.zeros(2, dtype=int), 2)
+        except ReproError:
+            caught += 1
+        assert caught == 2
+
+
+class TestDegenerateTasks:
+    def test_single_test_point_works(self, rng):
+        from repro.estimators.cover_hart import OneNNEstimator
+
+        x, y = _arrays(rng)
+        estimate = OneNNEstimator().estimate(x, y, x[:1], y[:1], 3)
+        assert estimate.value in (0.0, estimate.value)
+
+    def test_constant_features(self, rng):
+        # All-identical features: 1NN ties everywhere; the estimate must
+        # still be a valid probability, not crash.
+        from repro.estimators.cover_hart import OneNNEstimator
+
+        x = np.ones((50, 3))
+        y = rng.integers(0, 2, 50)
+        estimate = OneNNEstimator().estimate(x, y, np.ones((20, 3)),
+                                             rng.integers(0, 2, 20), 2)
+        assert 0.0 <= estimate.value <= 1.0
+
+    def test_single_class_dataset_valid_but_trivial(self, rng):
+        from repro.estimators.cover_hart import OneNNEstimator
+
+        x, _ = _arrays(rng)
+        y = np.zeros(len(x), dtype=int)
+        estimate = OneNNEstimator().estimate(x, y, x[:10], y[:10], 2)
+        assert estimate.value == 0.0
+
+    def test_duplicate_points_different_labels(self, rng):
+        # Irreducibly ambiguous data: identical features, conflicting
+        # labels — the 1NN error reflects genuine noise.
+        from repro.estimators.cover_hart import OneNNEstimator
+
+        x = np.repeat(rng.normal(size=(10, 3)), 2, axis=0)
+        y = np.tile([0, 1], 10)
+        estimate = OneNNEstimator().estimate(x, y, x, y, 2)
+        assert estimate.value > 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for the FeeBee evaluation protocol and the reporting layer."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.cover_hart import OneNNEstimator
+from repro.exceptions import DataValidationError
+from repro.feebee.evaluation import evaluate_estimator_over_noise
+from repro.reporting.series import FigureData, Series
+from repro.reporting.tables import render_table
+from repro.transforms.pretrained import SimulatedEmbedding
+
+
+class TestFeeBee:
+    def test_estimates_track_noise_evolution(self, dataset):
+        embedding = SimulatedEmbedding(
+            "probe", 16, 0.9, 1e-4, dataset.oracle.latent_projection, seed=0
+        )
+        evaluation = evaluate_estimator_over_noise(
+            OneNNEstimator(), dataset,
+            rhos=(0.0, 0.15, 0.3, 0.45), transform=embedding, rng=0,
+        )
+        assert evaluation.slope_fidelity() > 0.9
+        # True BERs follow Lemma 2.1 exactly.
+        diffs = np.diff(evaluation.true_bers)
+        assert np.all(diffs > 0)
+
+    def test_estimates_monotone_in_noise(self, dataset):
+        evaluation = evaluate_estimator_over_noise(
+            OneNNEstimator(), dataset, rhos=(0.0, 0.3, 0.6), rng=0
+        )
+        assert evaluation.estimates[0] < evaluation.estimates[-1]
+
+    def test_deviation_metrics(self, dataset):
+        evaluation = evaluate_estimator_over_noise(
+            OneNNEstimator(), dataset, rhos=(0.0, 0.2, 0.4), rng=0
+        )
+        assert evaluation.mean_absolute_deviation() >= 0
+        assert (
+            evaluation.root_mean_squared_deviation()
+            >= evaluation.mean_absolute_deviation() - 1e-12
+        )
+        assert 0.0 <= evaluation.underestimation_rate() <= 1.0
+
+    def test_requires_oracle(self, dataset):
+        from dataclasses import replace
+
+        with pytest.raises(DataValidationError, match="oracle"):
+            evaluate_estimator_over_noise(
+                OneNNEstimator(), replace(dataset, oracle=None)
+            )
+
+    def test_slope_fidelity_needs_three_points(self, dataset):
+        evaluation = evaluate_estimator_over_noise(
+            OneNNEstimator(), dataset, rhos=(0.0, 0.4), rng=0
+        )
+        with pytest.raises(DataValidationError):
+            evaluation.slope_fidelity()
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["b", 0.25]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert lines[1].startswith("---")
+        assert "a" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000012], [12345.6], [float("nan")]])
+        assert "1.2e-05" in text
+        assert "nan" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(DataValidationError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestSeries:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            Series("s", [1, 2], [1.0])
+
+    def test_final_y(self):
+        assert Series("s", [1, 2], [0.5, 0.25]).final_y == 0.25
+
+    def test_figure_add_and_get(self):
+        figure = FigureData("fig4", "test", "time", "error")
+        figure.add("snoopy", [1, 2], [0.3, 0.2])
+        assert figure.get("snoopy").final_y == pytest.approx(0.2)
+        assert figure.labels == ["snoopy"]
+        with pytest.raises(KeyError):
+            figure.get("missing")
+
+    def test_to_text_contains_everything(self):
+        figure = FigureData("fig9", "cost curves", "dollars", "accuracy")
+        figure.add("fs_snoopy", np.arange(30), np.linspace(0.5, 0.9, 30))
+        figure.notes.append("shape matches paper")
+        text = figure.to_text(max_points=5)
+        assert "fig9" in text
+        assert "fs_snoopy" in text
+        assert "note: shape matches paper" in text
+        # max_points respected: 5 rows + header + rule + title + note.
+        assert len(text.splitlines()) == 9

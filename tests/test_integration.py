@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the exact workflows the paper describes: load a paper
+dataset analogue, pollute it, run Snoopy against baselines, clean
+iteratively, and verify the qualitative claims of the evaluation hold
+(who wins, roughly by how much, and in which direction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.finetune import FineTuneBaseline
+from repro.baselines.logistic_regression import LogisticRegressionBaseline
+from repro.cleaning.costs import CostModel
+from repro.cleaning.simulator import CleaningSession
+from repro.cleaning.strategies import run_with_feasibility_study
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.core.result import FeasibilitySignal
+from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.datasets import load, load_cifar_n
+from repro.noise.theory import (
+    ber_after_uniform_noise,
+    transition_bounds_from_sota,
+)
+from repro.transforms.catalog import catalog_for
+
+
+@pytest.fixture(scope="module")
+def cifar():
+    return load("cifar10", scale=0.01, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cifar_catalog(cifar):
+    return catalog_for(cifar, seed=0, max_embeddings=5)
+
+
+class TestSnoopyOnPaperDatasets:
+    def test_clean_cifar_realistic_target(self, cifar, cifar_catalog):
+        report = Snoopy(cifar_catalog, SnoopyConfig(seed=0)).run(
+            cifar, target_accuracy=0.9
+        )
+        assert report.signal is FeasibilitySignal.REALISTIC
+        # The clean analogue is calibrated to BER ~ 0.3%; the estimate
+        # must be in the few-percent range, not tens of percent.
+        assert report.ber_estimate < 0.1
+
+    def test_noisy_cifar_unrealistic_target(self, cifar, cifar_catalog):
+        noisy = make_noisy_dataset(cifar, 0.4, rng=0)
+        report = Snoopy(cifar_catalog, SnoopyConfig(seed=0)).run(
+            noisy, target_accuracy=0.95
+        )
+        assert report.signal is FeasibilitySignal.UNREALISTIC
+
+    def test_estimate_tracks_lemma_evolution(self, cifar, cifar_catalog):
+        estimates = {}
+        for rho in (0.0, 0.2, 0.4):
+            noisy = make_noisy_dataset(cifar, rho, rng=1) if rho else cifar
+            report = Snoopy(cifar_catalog, SnoopyConfig(seed=0)).run(
+                noisy, target_accuracy=0.9
+            )
+            estimates[rho] = report.ber_estimate
+        # Monotone in noise, and within a factor-ish of the true values.
+        assert estimates[0.0] < estimates[0.2] < estimates[0.4]
+        for rho in (0.2, 0.4):
+            truth = ber_after_uniform_noise(cifar.true_ber, rho, 10)
+            assert estimates[rho] == pytest.approx(truth, abs=0.12)
+
+    def test_snoopy_cheaper_and_no_worse_than_lr(self, cifar, cifar_catalog):
+        noisy = make_noisy_dataset(cifar, 0.2, rng=0)
+        report = Snoopy(cifar_catalog, SnoopyConfig(seed=0)).run(
+            noisy, target_accuracy=0.9
+        )
+        lr = LogisticRegressionBaseline(
+            cifar_catalog, num_epochs=5, seed=0,
+            learning_rates=(0.1,), l2_values=(0.0,),
+        ).run(noisy)
+        # Feasibility estimate at or below the proxy error, at a fraction
+        # of the simulated cost (LR embeds everything + trains a grid).
+        assert report.ber_estimate <= lr.best_error + 0.02
+        assert report.total_sim_cost_seconds < lr.sim_cost_seconds
+
+    def test_snoopy_orders_of_magnitude_cheaper_than_finetune(
+        self, cifar, cifar_catalog
+    ):
+        report = Snoopy(cifar_catalog, SnoopyConfig(seed=0)).run(
+            cifar, target_accuracy=0.9
+        )
+        # The paper's fine-tune settings: a small LR grid, many epochs.
+        finetune = FineTuneBaseline(cifar_catalog, seed=0).run(cifar)
+        assert finetune.sim_cost_seconds > 10 * report.total_sim_cost_seconds
+
+
+class TestCifarNIntegration:
+    def test_estimate_within_theorem_bounds(self):
+        dataset = load_cifar_n("cifar10_aggre", scale=0.01, seed=0)
+        catalog = catalog_for(dataset, seed=0, max_embeddings=4)
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(
+            dataset, target_accuracy=0.9
+        )
+        transition = dataset.extras["transition"]
+        lower, upper = transition_bounds_from_sota(
+            dataset.sota_error, transition
+        )
+        # The paper observes the estimate stays inside the (wide) bounds.
+        assert lower - 0.05 <= report.ber_estimate <= upper + 0.05
+
+
+class TestEndToEndCleaningLoop:
+    def test_incremental_state_agrees_with_fresh_run_after_cleaning(
+        self, cifar, cifar_catalog
+    ):
+        noisy = make_noisy_dataset(cifar, 0.3, rng=2)
+        system = Snoopy(cifar_catalog, SnoopyConfig(strategy="full", seed=0))
+        system.run(noisy, target_accuracy=0.9)
+        state = system.incremental_state()
+        session = CleaningSession(noisy, rng=0)
+        step = session.clean_fraction(0.5)
+        state.apply_cleaning(
+            step.train_indices, step.train_labels,
+            step.test_indices, step.test_labels,
+        )
+        _, incremental = state.ber_estimate()
+        fresh = Snoopy(
+            cifar_catalog, SnoopyConfig(strategy="full", seed=0)
+        ).run(session.current_dataset(), target_accuracy=0.9)
+        assert incremental == pytest.approx(fresh.ber_estimate, abs=0.03)
+
+    def test_feasibility_guided_loop_saves_expensive_runs(
+        self, cifar, cifar_catalog
+    ):
+        noisy = make_noisy_dataset(cifar, 0.3, rng=0)
+        trainer = FineTuneBaseline(
+            cifar_catalog, learning_rates=(0.05,), num_epochs=8, seed=0
+        )
+        trace = run_with_feasibility_study(
+            CleaningSession(noisy, rng=0), trainer,
+            target_accuracy=0.80, cost_model=CostModel.for_regime("cheap"),
+            feasibility="snoopy", catalog=cifar_catalog, clean_step=0.05,
+        )
+        assert trace.reached_target
+        feasibility_checks = sum(
+            1 for p in trace.points if p.action == "feasibility"
+        )
+        assert trace.num_expensive_runs < feasibility_checks

@@ -1,0 +1,119 @@
+"""Unit tests for the feature-space quality injectors (repro.noise.features)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.noise.features import (
+    ber_after_latent_feature_noise,
+    inject_feature_noise,
+    inject_missing_features,
+)
+
+
+@pytest.fixture()
+def features(rng):
+    return rng.normal(size=(300, 8)) + np.arange(8)
+
+
+class TestFeatureNoise:
+    def test_zero_noise_is_identity(self, features):
+        result = inject_feature_noise(features, 0.0, rng=0)
+        np.testing.assert_array_equal(result.noisy_features, features)
+        assert not result.mask.any()
+
+    def test_noise_std_realized(self, features):
+        result = inject_feature_noise(features, 2.0, rng=0)
+        residual = result.noisy_features - result.clean_features
+        assert residual.std() == pytest.approx(2.0, rel=0.05)
+        assert result.mask.all()
+
+    def test_negative_std_raises(self, features):
+        with pytest.raises(DataValidationError):
+            inject_feature_noise(features, -1.0)
+
+    def test_clean_copy_is_independent(self, features):
+        result = inject_feature_noise(features, 1.0, rng=0)
+        result.clean_features[:] = 0.0
+        assert features.std() > 0  # original untouched
+
+
+class TestMissingFeatures:
+    def test_fraction_realized(self, features):
+        result = inject_missing_features(features, 0.3, rng=0)
+        assert result.mask.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_mean_imputation(self, features):
+        result = inject_missing_features(features, 0.4, strategy="mean", rng=0)
+        observed = np.where(result.mask, np.nan, features)
+        column_means = np.nanmean(observed, axis=0)
+        rows, cols = np.nonzero(result.mask)
+        np.testing.assert_allclose(
+            result.noisy_features[rows, cols], column_means[cols]
+        )
+
+    def test_zero_imputation(self, features):
+        result = inject_missing_features(features, 0.4, strategy="zero", rng=0)
+        assert np.all(result.noisy_features[result.mask] == 0.0)
+
+    def test_unknown_strategy_raises(self, features):
+        with pytest.raises(DataValidationError):
+            inject_missing_features(features, 0.2, strategy="knn")
+
+    def test_fraction_out_of_range_raises(self, features):
+        with pytest.raises(DataValidationError):
+            inject_missing_features(features, 1.2)
+
+    def test_full_missing_zero_strategy(self, features):
+        result = inject_missing_features(features, 1.0, strategy="zero", rng=0)
+        assert np.all(result.noisy_features == 0.0)
+
+
+class TestLatentFeatureNoiseTheory:
+    def test_zero_noise_recovers_clean_ber(self, task):
+        reference = task.true_ber()
+        computed = ber_after_latent_feature_noise(
+            task.class_means(), task.within_std, 0.0
+        )
+        assert computed == pytest.approx(reference, abs=0.01)
+
+    def test_ber_increases_with_feature_noise(self, task):
+        values = [
+            ber_after_latent_feature_noise(
+                task.class_means(), task.within_std, std,
+                num_monte_carlo=40_000,
+            )
+            for std in (0.0, 1.0, 3.0)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_saturates_at_chance(self, task):
+        noisy = ber_after_latent_feature_noise(
+            task.class_means(), task.within_std, 100.0,
+            num_monte_carlo=40_000,
+        )
+        chance = 1 - 1 / task.num_classes
+        assert noisy == pytest.approx(chance, abs=0.02)
+
+    def test_invalid_std_raises(self, task):
+        with pytest.raises(DataValidationError):
+            ber_after_latent_feature_noise(task.class_means(), 0.0, 1.0)
+
+    def test_1nn_estimate_tracks_feature_noise(self, task, rng):
+        # End-to-end: corrupt raw features, check the estimator moves in
+        # the direction theory predicts.
+        from repro.estimators.cover_hart import OneNNEstimator
+
+        dataset = task.sample_dataset(500, 200, rng=rng)
+        estimator = OneNNEstimator()
+        clean = estimator.estimate(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, task.num_classes,
+        ).value
+        corrupt_train = inject_feature_noise(dataset.train_x, 3.0, rng=0)
+        corrupt_test = inject_feature_noise(dataset.test_x, 3.0, rng=1)
+        noisy = estimator.estimate(
+            corrupt_train.noisy_features, dataset.train_y,
+            corrupt_test.noisy_features, dataset.test_y, task.num_classes,
+        ).value
+        assert noisy > clean

@@ -1,0 +1,116 @@
+"""Unit tests for repro.noise.models (the injectors)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.noise.models import (
+    inject_instance_dependent_noise,
+    inject_pairwise_noise,
+    inject_uniform_noise,
+    inject_with_transition,
+)
+from repro.noise.transition import TransitionMatrix
+
+
+@pytest.fixture()
+def labels(rng):
+    return rng.integers(0, 4, size=2000)
+
+
+class TestUniform:
+    def test_zero_rho_is_identity(self, labels):
+        result = inject_uniform_noise(labels, 0.0, 4, rng=0)
+        np.testing.assert_array_equal(result.noisy_labels, labels)
+        assert result.flip_rate == 0.0
+
+    def test_flip_rate_matches_lemma(self, labels):
+        # Realized flips ~ rho * (1 - 1/C).
+        result = inject_uniform_noise(labels, 0.4, 4, rng=0)
+        assert abs(result.flip_rate - 0.4 * 0.75) < 0.03
+
+    def test_clean_labels_preserved(self, labels):
+        result = inject_uniform_noise(labels, 0.5, 4, rng=0)
+        np.testing.assert_array_equal(result.clean_labels, labels)
+
+    def test_flipped_mask_consistent(self, labels):
+        result = inject_uniform_noise(labels, 0.5, 4, rng=0)
+        np.testing.assert_array_equal(
+            result.flipped, result.noisy_labels != result.clean_labels
+        )
+
+    def test_rho_out_of_range_raises(self, labels):
+        with pytest.raises(DataValidationError):
+            inject_uniform_noise(labels, 1.5, 4)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(DataValidationError):
+            inject_uniform_noise(np.array([7]), 0.1, 4)
+
+    def test_deterministic_with_seed(self, labels):
+        a = inject_uniform_noise(labels, 0.3, 4, rng=11)
+        b = inject_uniform_noise(labels, 0.3, 4, rng=11)
+        np.testing.assert_array_equal(a.noisy_labels, b.noisy_labels)
+
+    def test_noisy_labels_stay_in_range(self, labels):
+        result = inject_uniform_noise(labels, 0.9, 4, rng=0)
+        assert result.noisy_labels.min() >= 0
+        assert result.noisy_labels.max() < 4
+
+
+class TestTransition:
+    def test_matches_matrix_statistics(self, labels):
+        t = TransitionMatrix.uniform(0.6, 4)
+        result = inject_with_transition(labels, t, rng=0)
+        assert abs(result.flip_rate - 0.6 * 0.75) < 0.03
+
+    def test_pairwise_flips_to_partner_only(self, labels):
+        result = inject_pairwise_noise(labels, 0.3, 4, rng=0)
+        flipped_from = result.clean_labels[result.flipped]
+        flipped_to = result.noisy_labels[result.flipped]
+        np.testing.assert_array_equal(flipped_to, (flipped_from + 1) % 4)
+
+
+class TestInstanceDependent:
+    def test_mean_rate_approximately_base(self, rng):
+        features = rng.normal(size=(3000, 4))
+        labels = rng.integers(0, 3, size=3000)
+        result = inject_instance_dependent_noise(features, labels, 3, 0.2, rng=0)
+        assert abs(result.flip_rate - 0.2) < 0.05
+
+    def test_harder_points_flip_more(self, rng):
+        # One tight cluster per class: points far from the centroid must
+        # have higher empirical flip rates than points near it.
+        features = rng.normal(size=(6000, 3))
+        labels = np.zeros(6000, dtype=int)
+        labels[3000:] = 1
+        features[labels == 1] += 5.0
+        result = inject_instance_dependent_noise(
+            features, labels, 2, 0.3, rng=0
+        )
+        dist = np.linalg.norm(
+            features - features[labels == 0].mean(axis=0), axis=1
+        )
+        dist[labels == 1] = np.linalg.norm(
+            features[labels == 1] - features[labels == 1].mean(axis=0), axis=1
+        )
+        far = dist > np.median(dist)
+        assert result.flipped[far].mean() > result.flipped[~far].mean()
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            inject_instance_dependent_noise(
+                rng.normal(size=(5, 2)), np.zeros(4, dtype=int), 2, 0.1
+            )
+
+    def test_base_rate_out_of_range_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            inject_instance_dependent_noise(
+                rng.normal(size=(5, 2)), np.zeros(5, dtype=int), 2, 1.2
+            )
+
+
+class TestNoiseInjectionContainer:
+    def test_empty_flip_rate_is_zero(self):
+        result = inject_uniform_noise(np.array([], dtype=int), 0.5, 3, rng=0)
+        assert result.flip_rate == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.noise.theory: Lemma 2.1, Theorem 3.1 and bounds."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.noise.theory import (
+    ber_after_pairwise_noise,
+    ber_after_uniform_noise,
+    ber_increase_decomposition,
+    ber_under_transition,
+    expected_increase_approximation,
+    expected_sota_increase_uniform,
+    transition_bounds_from_sota,
+)
+from repro.noise.transition import TransitionMatrix
+
+
+def _random_posteriors(n, c, rng, sharpness=4.0):
+    raw = rng.dirichlet(np.full(c, 1.0 / sharpness), size=n)
+    return raw
+
+
+class TestLemma21:
+    def test_zero_noise_is_identity(self):
+        assert ber_after_uniform_noise(0.1, 0.0, 5) == pytest.approx(0.1)
+
+    def test_full_noise_saturates(self):
+        # rho = 1: the label is uniform, BER = 1 - 1/C regardless of task.
+        assert ber_after_uniform_noise(0.1, 1.0, 5) == pytest.approx(1 - 1 / 5)
+        assert ber_after_uniform_noise(0.0, 1.0, 2) == pytest.approx(0.5)
+
+    def test_linear_in_rho(self):
+        vals = [ber_after_uniform_noise(0.05, r, 10) for r in (0.0, 0.5, 1.0)]
+        assert vals[1] == pytest.approx((vals[0] + vals[2]) / 2)
+
+    def test_monotone_in_rho_below_saturation(self):
+        vals = [ber_after_uniform_noise(0.02, r, 4) for r in np.linspace(0, 1, 11)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(DataValidationError):
+            ber_after_uniform_noise(-0.1, 0.2, 3)
+        with pytest.raises(DataValidationError):
+            ber_after_uniform_noise(0.1, 2.0, 3)
+        with pytest.raises(DataValidationError):
+            ber_after_uniform_noise(0.1, 0.2, 1)
+
+
+class TestPairwise:
+    def test_formula(self):
+        assert ber_after_pairwise_noise(0.1, 0.2) == pytest.approx(
+            0.1 + 0.2 * (1 - 0.2)
+        )
+
+    def test_saturation_at_half(self):
+        # BER 0.5 is a fixed point of pairwise flipping.
+        assert ber_after_pairwise_noise(0.5, 0.7) == pytest.approx(0.5)
+
+
+class TestTheorem31:
+    def test_uniform_transition_recovers_lemma(self, rng):
+        # Theorem 3.1 with the uniform matrix must equal Lemma 2.1.
+        c = 5
+        posteriors = _random_posteriors(4000, c, rng)
+        clean_ber = float(np.mean(1 - posteriors.max(axis=1)))
+        for rho in (0.0, 0.2, 0.5):
+            t = TransitionMatrix.uniform(rho, c)
+            noisy = ber_under_transition(posteriors, t)
+            assert noisy == pytest.approx(
+                ber_after_uniform_noise(clean_ber, rho, c), abs=1e-10
+            )
+
+    def test_pairwise_transition_on_binary_recovers_corollary(self, rng):
+        posteriors = _random_posteriors(4000, 2, rng)
+        clean_ber = float(np.mean(1 - posteriors.max(axis=1)))
+        t = TransitionMatrix.pairwise(0.2, 2)
+        noisy = ber_under_transition(posteriors, t)
+        assert noisy == pytest.approx(
+            ber_after_pairwise_noise(clean_ber, 0.2), abs=1e-10
+        )
+
+    def test_decomposition_sums_to_noisy_ber(self, rng):
+        posteriors = _random_posteriors(2000, 4, rng)
+        t = TransitionMatrix.class_dependent_random(4, 0.25, 0.1, rng=0)
+        clean, flip, recovery = ber_increase_decomposition(posteriors, t)
+        assert ber_under_transition(posteriors, t) == pytest.approx(
+            clean + flip - recovery, abs=1e-10
+        )
+
+    def test_noise_never_decreases_ber_in_valid_regime(self, rng):
+        posteriors = _random_posteriors(2000, 4, rng)
+        clean_ber = float(np.mean(1 - posteriors.max(axis=1)))
+        t = TransitionMatrix.class_dependent_random(4, 0.3, 0.05, rng=1)
+        assert ber_under_transition(posteriors, t) >= clean_ber - 1e-10
+
+    def test_rejects_argmax_violating_matrix(self, rng):
+        matrix = np.array([[0.3, 0.0], [0.7, 1.0]])  # column 0 argmax is row 1
+        t = TransitionMatrix(matrix)
+        posteriors = _random_posteriors(100, 2, rng)
+        with pytest.raises(DataValidationError, match="argmax"):
+            ber_under_transition(posteriors, t)
+
+    def test_rejects_unnormalized_posteriors(self):
+        t = TransitionMatrix.uniform(0.1, 3)
+        with pytest.raises(DataValidationError):
+            ber_under_transition(np.ones((5, 3)), t)
+
+
+class TestBounds:
+    def test_interval_contains_theorem_value(self, rng):
+        posteriors = _random_posteriors(4000, 5, rng)
+        clean_ber = float(np.mean(1 - posteriors.max(axis=1)))
+        t = TransitionMatrix.class_dependent_random(5, 0.2, 0.08, rng=2)
+        noisy = ber_under_transition(posteriors, t)
+        # SOTA error upper-bounds the clean BER by definition.
+        sota = clean_ber + 0.02
+        lower, upper = transition_bounds_from_sota(sota, t)
+        assert lower - 1e-9 <= noisy <= upper + 1e-9
+
+    def test_bounds_are_clipped(self):
+        t = TransitionMatrix.uniform(0.9, 10)
+        lower, upper = transition_bounds_from_sota(0.5, t)
+        assert 0.0 <= lower <= upper <= 1.0
+
+    def test_approximation_between_bounds_for_symmetric_noise(self):
+        t = TransitionMatrix.uniform(0.3, 10)
+        sota = 0.05
+        lower, upper = transition_bounds_from_sota(sota, t)
+        approx = expected_increase_approximation(sota, t)
+        assert lower <= approx <= upper
+
+    def test_sota_increase_uniform_equals_lemma(self):
+        assert expected_sota_increase_uniform(0.05, 0.2, 10) == pytest.approx(
+            ber_after_uniform_noise(0.05, 0.2, 10)
+        )

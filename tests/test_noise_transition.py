@@ -1,0 +1,129 @@
+"""Unit tests for repro.noise.transition.TransitionMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TransitionMatrixError
+from repro.noise.transition import TransitionMatrix
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(TransitionMatrixError):
+            TransitionMatrix(np.ones((2, 3)) / 2)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(TransitionMatrixError):
+            TransitionMatrix(np.ones((1, 1)))
+
+    def test_rejects_bad_column_sums(self):
+        matrix = np.eye(3)
+        matrix[0, 0] = 0.5
+        with pytest.raises(TransitionMatrixError, match="sum to 1"):
+            TransitionMatrix(matrix)
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[1.2, 0.0], [-0.2, 1.0]])
+        with pytest.raises(TransitionMatrixError):
+            TransitionMatrix(matrix)
+
+    def test_identity_is_valid(self):
+        t = TransitionMatrix(np.eye(4))
+        assert t.noise_level() == 0.0
+        assert t.preserves_argmax()
+
+
+class TestUniform:
+    @pytest.mark.parametrize("rho,c", [(0.0, 2), (0.3, 5), (1.0, 10)])
+    def test_columns_sum_to_one(self, rho, c):
+        t = TransitionMatrix.uniform(rho, c)
+        np.testing.assert_allclose(t.matrix.sum(axis=0), 1.0)
+
+    def test_flip_fraction_formula(self):
+        # Uniform resampling flips rho * (1 - 1/C) of each class.
+        t = TransitionMatrix.uniform(0.4, 5)
+        np.testing.assert_allclose(t.flip_fractions, 0.4 * (1 - 1 / 5))
+
+    def test_preserves_argmax_below_saturation(self):
+        assert TransitionMatrix.uniform(0.5, 10).preserves_argmax()
+
+    def test_rho_out_of_range_raises(self):
+        with pytest.raises(TransitionMatrixError):
+            TransitionMatrix.uniform(1.5, 3)
+
+    def test_off_diagonals_equal(self):
+        t = TransitionMatrix.uniform(0.3, 4)
+        assert t.max_off_diagonal() == pytest.approx(t.min_off_diagonal())
+
+
+class TestPairwise:
+    def test_default_permutation_is_cycle(self):
+        t = TransitionMatrix.pairwise(0.2, 4)
+        # Class y leaks only into (y+1) % 4.
+        for y in range(4):
+            assert t.matrix[(y + 1) % 4, y] == pytest.approx(0.2)
+            assert t.matrix[y, y] == pytest.approx(0.8)
+
+    def test_rejects_fixed_point_permutation(self):
+        with pytest.raises(TransitionMatrixError, match="fixed points"):
+            TransitionMatrix.pairwise(0.1, 3, permutation=np.array([0, 2, 1]))
+
+    def test_rejects_non_bijection(self):
+        with pytest.raises(TransitionMatrixError, match="bijection"):
+            TransitionMatrix.pairwise(0.1, 3, permutation=np.array([1, 1, 0]))
+
+    def test_noise_level_equals_rho(self):
+        assert TransitionMatrix.pairwise(0.25, 6).noise_level() == pytest.approx(
+            0.25
+        )
+
+
+class TestClassDependentRandom:
+    def test_mean_flip_approximately_respected(self):
+        t = TransitionMatrix.class_dependent_random(
+            10, mean_flip=0.2, flip_spread=0.05, rng=0
+        )
+        assert abs(t.noise_level() - 0.2) < 0.05
+
+    def test_preserves_argmax(self):
+        t = TransitionMatrix.class_dependent_random(
+            8, mean_flip=0.35, flip_spread=0.1, concentration=0.2, rng=3
+        )
+        assert t.preserves_argmax()
+
+    def test_columns_sum_to_one(self):
+        t = TransitionMatrix.class_dependent_random(6, mean_flip=0.3, rng=1)
+        np.testing.assert_allclose(t.matrix.sum(axis=0), 1.0, atol=1e-9)
+
+
+class TestSampling:
+    def test_identity_matrix_never_flips(self, rng):
+        t = TransitionMatrix(np.eye(5))
+        labels = rng.integers(0, 5, size=300)
+        np.testing.assert_array_equal(t.sample_noisy_labels(labels, rng=0), labels)
+
+    def test_realized_flip_rate_matches_expectation(self):
+        t = TransitionMatrix.uniform(0.5, 4)
+        labels = np.repeat(np.arange(4), 2500)
+        noisy = t.sample_noisy_labels(labels, rng=0)
+        realized = np.mean(noisy != labels)
+        assert abs(realized - 0.5 * (1 - 1 / 4)) < 0.02
+
+    def test_out_of_range_label_raises(self):
+        t = TransitionMatrix.uniform(0.1, 3)
+        with pytest.raises(TransitionMatrixError):
+            t.sample_noisy_labels(np.array([5]))
+
+    def test_deterministic_with_seed(self):
+        t = TransitionMatrix.uniform(0.4, 3)
+        labels = np.arange(3).repeat(100)
+        a = t.sample_noisy_labels(labels, rng=42)
+        b = t.sample_noisy_labels(labels, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_level_with_priors(self):
+        matrix = np.array([[0.9, 0.3], [0.1, 0.7]])
+        t = TransitionMatrix(matrix)
+        # All mass on class 0 -> noise is class 0's flip fraction.
+        assert t.noise_level(np.array([1.0, 0.0])) == pytest.approx(0.1)
+        assert t.noise_level(np.array([0.0, 1.0])) == pytest.approx(0.3)

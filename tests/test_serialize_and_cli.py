@@ -1,0 +1,163 @@
+"""Unit tests for JSON serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cleaning.costs import CostModel
+from repro.cleaning.simulator import CleaningSession
+from repro.cleaning.strategies import run_without_feasibility_study
+from repro.cleaning.workflow import make_noisy_dataset
+from repro.cli import build_parser, main
+from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.reporting.serialize import (
+    report_to_dict,
+    report_to_json,
+    trace_to_dict,
+    trace_to_json,
+)
+
+
+@pytest.fixture()
+def report(dataset, catalog):
+    return Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.6)
+
+
+class TestReportSerialization:
+    def test_roundtrips_through_json(self, report):
+        payload = json.loads(report_to_json(report))
+        assert payload["dataset"] == report.dataset_name
+        assert payload["signal"] in ("realistic", "unrealistic")
+        assert payload["ber_estimate"] == pytest.approx(report.ber_estimate)
+
+    def test_per_transform_entries(self, report):
+        payload = report_to_dict(report)
+        names = {entry["transform"] for entry in payload["per_transform"]}
+        assert report.best_transform in names
+
+    def test_curves_serialized_as_lists(self, report):
+        payload = report_to_dict(report)
+        curve = payload["curves"][report.best_transform]
+        assert isinstance(curve["sizes"], list)
+        assert len(curve["sizes"]) == len(curve["errors"])
+
+    def test_extrapolation_optional(self, report):
+        payload = report_to_dict(report)
+        if report.extrapolation is not None:
+            assert "extrapolation" in payload
+            assert isinstance(payload["extrapolation"]["trustworthy"], bool)
+
+    def test_no_numpy_types_leak(self, report):
+        # json.dumps fails on numpy scalars; a full dump must succeed.
+        assert json.dumps(report_to_dict(report))
+
+
+class TestTraceSerialization:
+    def test_trace_roundtrip(self, dataset, catalog):
+        from repro.baselines.finetune import FineTuneBaseline
+
+        noisy = make_noisy_dataset(dataset, 0.3, rng=0)
+        trainer = FineTuneBaseline(
+            catalog, learning_rates=(0.05,), num_epochs=5, seed=0
+        )
+        trace = run_without_feasibility_study(
+            CleaningSession(noisy, rng=0), trainer, 0.62, 0.25,
+            CostModel.for_regime("free"), max_steps=6,
+        )
+        payload = json.loads(trace_to_json(trace))
+        assert payload["strategy"] == trace.strategy
+        assert len(payload["points"]) == len(trace.points)
+        # NaN values (clean actions) become JSON null.
+        clean_points = [p for p in payload["points"] if p["action"] == "clean"]
+        assert all(p["value"] is None for p in clean_points)
+
+    def test_dict_totals(self, dataset, catalog):
+        from repro.baselines.finetune import FineTuneBaseline
+
+        noisy = make_noisy_dataset(dataset, 0.3, rng=0)
+        trainer = FineTuneBaseline(
+            catalog, learning_rates=(0.05,), num_epochs=5, seed=0
+        )
+        trace = run_without_feasibility_study(
+            CleaningSession(noisy, rng=0), trainer, 0.62, 0.5,
+            CostModel.for_regime("free"), max_steps=4,
+        )
+        payload = trace_to_dict(trace)
+        assert payload["total_dollars"] == pytest.approx(trace.total_dollars)
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cifar10" in out
+        assert "yelp" in out
+
+    def test_catalog_command(self, capsys):
+        assert main(["catalog", "cifar10", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "identity" in out
+        assert "efficientnet_b7" in out
+
+    def test_study_command_text(self, capsys):
+        code = main([
+            "study", "cifar10", "--target", "0.9",
+            "--scale", "0.005", "--max-embeddings", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Feasibility study" in out
+        assert "signal" in out
+
+    def test_study_command_json(self, capsys):
+        code = main([
+            "study", "cifar10", "--target", "0.9", "--json",
+            "--scale", "0.005", "--max-embeddings", "3",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target_accuracy"] == 0.9
+
+    def test_study_with_noise_flips_signal(self, capsys):
+        main([
+            "study", "cifar10", "--target", "0.99", "--noise", "0.4",
+            "--scale", "0.005", "--max-embeddings", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "UNREALISTIC" in out
+
+    def test_study_invalid_target_errors(self, capsys):
+        assert main([
+            "study", "cifar10", "--target", "1.5", "--scale", "0.005",
+        ]) == 2
+
+    def test_feebee_command(self, capsys):
+        code = main([
+            "feebee", "cifar10", "--scale", "0.005", "--estimator", "1nn",
+        ])
+        assert code == 0
+        assert "slope fidelity" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "imagenet", "--target", "0.9"])
+
+    def test_clean_loop_requires_noise(self, capsys):
+        assert main([
+            "clean-loop", "cifar10", "--target", "0.9", "--noise", "0",
+            "--scale", "0.005",
+        ]) == 2
+
+    def test_clean_loop_command(self, capsys):
+        code = main([
+            "clean-loop", "cifar10", "--target", "0.7", "--noise", "0.4",
+            "--scale", "0.005", "--regime", "free", "--step", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cleaning loop" in out
+        assert "expensive run(s)" in out

@@ -1,0 +1,58 @@
+"""Tests for the confidence-aware signal and per-modality metric defaults."""
+
+import pytest
+
+from repro.core.snoopy import Snoopy, SnoopyConfig
+
+
+class TestAutoMetric:
+    def test_vision_defaults_to_euclidean(self, dataset, catalog):
+        system = Snoopy(catalog)
+        assert system._resolve_metric(dataset) == "euclidean"
+
+    def test_text_defaults_to_cosine(self, task, catalog):
+        text_ds = task.sample_dataset(100, 50, name="t", modality="text", rng=0)
+        system = Snoopy(catalog)
+        assert system._resolve_metric(text_ds) == "cosine"
+
+    def test_explicit_metric_wins(self, dataset, catalog):
+        system = Snoopy(catalog, SnoopyConfig(metric="cosine"))
+        assert system._resolve_metric(dataset) == "cosine"
+
+    def test_text_run_works_with_auto_metric(self, task):
+        from repro.transforms.pretrained import SimulatedEmbedding
+
+        text_ds = task.sample_dataset(300, 100, name="t", modality="text", rng=0)
+        embedding = SimulatedEmbedding(
+            "e", 16, 0.8, 1e-4, text_ds.oracle.latent_projection, seed=0
+        )
+        report = Snoopy([embedding]).run(text_ds, target_accuracy=0.6)
+        assert 0.0 <= report.ber_estimate <= 1.0
+
+
+class TestSignalConfidence:
+    def test_confident_far_from_target(self, dataset, catalog):
+        # Target far above/below the estimate: the Wilson band cannot
+        # straddle the threshold.
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.5)
+        assert report.signal_confident
+
+    def test_not_confident_at_the_boundary(self, dataset, catalog):
+        first = Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.5)
+        # Place the target exactly at the estimate: the band straddles.
+        boundary_target = 1.0 - first.ber_estimate
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(
+            dataset, boundary_target
+        )
+        assert not report.signal_confident
+
+    def test_details_carry_interval(self, dataset, catalog):
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.6)
+        for result in report.per_transform:
+            low = result.estimate.details["confidence_low"]
+            high = result.estimate.details["confidence_high"]
+            assert 0.0 <= low <= result.estimate.value <= high <= 1.0
+
+    def test_summary_mentions_confidence(self, dataset, catalog):
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.6)
+        assert "signal confident" in report.summary()

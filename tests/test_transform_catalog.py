@@ -1,0 +1,125 @@
+"""Unit tests for the Tables III/IV transformation catalogs."""
+
+import pytest
+
+from repro.transforms.catalog import (
+    TEXT_EMBEDDINGS,
+    VISION_EMBEDDINGS,
+    _task_fidelity,
+    catalog_for,
+    text_catalog,
+    vision_catalog,
+)
+
+
+class TestSpecs:
+    def test_table3_has_sixteen_pretrained_entries(self):
+        assert len(VISION_EMBEDDINGS) == 16
+
+    def test_table4_has_seventeen_entries(self):
+        assert len(TEXT_EMBEDDINGS) == 17
+
+    def test_efficientnet_family_ordered_by_fidelity_and_cost(self):
+        effs = [s for s in VISION_EMBEDDINGS if s.name.startswith("efficientnet")]
+        fidelities = [s.fidelity for s in effs]
+        costs = [s.cost_per_sample for s in effs]
+        assert fidelities == sorted(fidelities)
+        assert costs == sorted(costs)
+
+    def test_sim_dim_capped(self):
+        assert all(16 <= s.sim_dim <= 96 for s in VISION_EMBEDDINGS)
+
+    def test_paper_dims_recorded(self):
+        bert_large = next(s for s in TEXT_EMBEDDINGS if s.name == "xlnet_large")
+        assert bert_large.paper_dim == 1024
+
+
+class TestFidelityJitter:
+    def test_jitter_is_deterministic(self):
+        spec = VISION_EMBEDDINGS[0]
+        assert _task_fidelity(spec, "cifar10") == _task_fidelity(spec, "cifar10")
+
+    def test_jitter_varies_across_tasks(self):
+        spec = VISION_EMBEDDINGS[0]
+        values = {_task_fidelity(spec, name) for name in ("a", "b", "c", "d")}
+        assert len(values) > 1
+
+    def test_jitter_bounded(self):
+        for spec in VISION_EMBEDDINGS:
+            for task in ("mnist", "cifar10", "cifar100"):
+                fid = _task_fidelity(spec, task)
+                assert abs(fid - spec.fidelity) <= 0.06 + 1e-12
+
+
+class TestCatalogConstruction:
+    def test_vision_catalog_includes_classical(self, dataset):
+        catalog = vision_catalog(dataset, seed=0, max_embeddings=3)
+        assert "identity" in catalog.names
+        assert any(name.startswith("pca") for name in catalog.names)
+
+    def test_vision_catalog_full_size(self, dataset):
+        catalog = vision_catalog(dataset, seed=0)
+        # identity + pca32/pca64 (fit allows both here) + 16 embeddings
+        assert len(catalog) >= 17
+
+    def test_max_embeddings_truncation_preserves_spread(self, dataset):
+        catalog = vision_catalog(
+            dataset, seed=0, include_classical=False, max_embeddings=4
+        )
+        names = catalog.names
+        assert len(names) == 4
+        assert names[0] == VISION_EMBEDDINGS[0].name
+        assert names[-1] == VISION_EMBEDDINGS[-1].name
+
+    def test_text_catalog_has_no_identity(self, dataset):
+        catalog = text_catalog(dataset, seed=0, max_embeddings=5)
+        assert "identity" not in catalog.names
+
+    def test_catalog_for_dispatches_on_modality(self, dataset, task):
+        vision = catalog_for(dataset, seed=0, max_embeddings=3)
+        assert "identity" in vision.names
+        text_ds = task.sample_dataset(100, 40, name="t", modality="text", rng=0)
+        text = catalog_for(text_ds, seed=0, max_embeddings=3)
+        assert "identity" not in text.names
+
+    def test_catalog_transforms_are_usable(self, dataset):
+        catalog = vision_catalog(dataset, seed=0, max_embeddings=2)
+        catalog.fit(dataset.train_x)
+        for transform in catalog:
+            out = transform.transform(dataset.test_x)
+            assert out.shape[0] == dataset.num_test
+            assert out.shape[1] == transform.output_dim
+
+
+class TestNCAInCatalog:
+    def test_nca_opt_in(self, dataset):
+        from repro.transforms.catalog import vision_catalog
+
+        catalog = vision_catalog(
+            dataset, seed=0, include_nca=True, max_embeddings=2
+        )
+        assert any(name.startswith("nca") for name in catalog.names)
+
+    def test_catalog_fit_requires_labels_for_nca(self, dataset):
+        from repro.exceptions import DataValidationError
+        from repro.transforms.catalog import vision_catalog
+
+        catalog = vision_catalog(
+            dataset, seed=0, include_nca=True, max_embeddings=2
+        )
+        with pytest.raises(DataValidationError, match="supervised"):
+            catalog.fit(dataset.train_x)
+        catalog.fit(dataset.train_x, dataset.train_y)
+        assert all(t.fitted for t in catalog)
+
+    def test_snoopy_runs_with_nca_catalog(self, dataset):
+        from repro.core.snoopy import Snoopy, SnoopyConfig
+        from repro.transforms.catalog import vision_catalog
+
+        catalog = vision_catalog(
+            dataset, seed=0, include_nca=True, max_embeddings=2
+        )
+        report = Snoopy(catalog, SnoopyConfig(seed=0)).run(dataset, 0.6)
+        assert any(
+            r.transform_name.startswith("nca") for r in report.per_transform
+        )

@@ -1,0 +1,201 @@
+"""Unit tests for the transformation substrate (linear, NCA, simulated)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.transforms.base import FittedCatalog
+from repro.transforms.linear import (
+    IdentityTransform,
+    PCATransform,
+    RandomProjectionTransform,
+    StandardizeTransform,
+)
+from repro.transforms.nca import NCATransform
+from repro.transforms.pretrained import SimulatedEmbedding
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.normal(size=(200, 12)) * np.arange(1, 13)
+
+
+class TestIdentity:
+    def test_passthrough(self, data):
+        t = IdentityTransform(12).fit(data)
+        np.testing.assert_array_equal(t.transform(data), data)
+
+    def test_zero_cost(self):
+        assert IdentityTransform(4).inference_cost(1000) == 0.0
+
+    def test_wrong_dim_raises(self, data):
+        t = IdentityTransform(5).fit(data[:, :5])
+        with pytest.raises(DataValidationError):
+            t.transform(data)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, data):
+        t = StandardizeTransform(12).fit(data)
+        out = t.transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_transform_before_fit_raises(self, data):
+        with pytest.raises(DataValidationError):
+            StandardizeTransform(12).transform(data)
+
+
+class TestPCA:
+    def test_output_dim(self, data):
+        out = PCATransform(5).fit(data).transform(data)
+        assert out.shape == (200, 5)
+
+    def test_components_orthonormal(self, data):
+        pca = PCATransform(5).fit(data)
+        gram = pca.components @ pca.components.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_variance_ordering(self, data):
+        out = PCATransform(5).fit(data).transform(data)
+        variances = out.var(axis=0)
+        assert np.all(np.diff(variances) <= 1e-8)
+
+    def test_reconstruction_better_with_more_components(self, data):
+        def recon_error(k):
+            pca = PCATransform(k).fit(data)
+            projected = pca.transform(data)
+            back = projected @ pca.components + data.mean(axis=0)
+            return float(np.mean((back - data) ** 2))
+
+        assert recon_error(8) < recon_error(2)
+
+    def test_too_many_components_raises(self, data):
+        with pytest.raises(DataValidationError):
+            PCATransform(100).fit(data)
+
+    def test_default_name(self):
+        assert PCATransform(32).name == "pca_32"
+
+
+class TestRandomProjection:
+    def test_shape_and_determinism(self, data):
+        a = RandomProjectionTransform(6, seed=3).fit(data).transform(data)
+        b = RandomProjectionTransform(6, seed=3).fit(data).transform(data)
+        assert a.shape == (200, 6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_approximately_preserves_distances(self, rng):
+        x = rng.normal(size=(30, 200))
+        projected = RandomProjectionTransform(100, seed=0).fit(x).transform(x)
+        orig = np.linalg.norm(x[0] - x[1])
+        proj = np.linalg.norm(projected[0] - projected[1])
+        assert proj == pytest.approx(orig, rel=0.5)
+
+    def test_dim_mismatch_raises(self, data, rng):
+        t = RandomProjectionTransform(4, seed=0).fit(data)
+        with pytest.raises(DataValidationError):
+            t.transform(rng.normal(size=(5, 3)))
+
+
+class TestNCA:
+    def test_improves_nearest_neighbor_accuracy(self, rng):
+        # Two informative dims + heavy noise dims: NCA should focus on
+        # the informative subspace and beat raw 1NN.
+        n = 300
+        y = rng.integers(0, 2, n)
+        informative = y[:, None] * 3.0 + rng.normal(size=(n, 2)) * 0.5
+        noise = rng.normal(size=(n, 10)) * 5.0
+        x = np.hstack([informative, noise])
+        nca = NCATransform(2, num_epochs=10, seed=0)
+        nca.fit(x[:200], y[:200])
+        from repro.knn.brute_force import BruteForceKNN
+
+        raw_err = BruteForceKNN().fit(x[:200], y[:200]).error(x[200:], y[200:])
+        out_train = nca.transform(x[:200])
+        out_test = nca.transform(x[200:])
+        nca_err = BruteForceKNN().fit(out_train, y[:200]).error(out_test, y[200:])
+        assert nca_err <= raw_err
+
+    def test_requires_labels(self, data):
+        with pytest.raises(DataValidationError, match="labels"):
+            NCATransform(2).fit(data)
+
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(60, 8))
+        y = rng.integers(0, 3, 60)
+        out = NCATransform(3, num_epochs=2, seed=0).fit(x, y).transform(x)
+        assert out.shape == (60, 3)
+
+
+class TestSimulatedEmbedding:
+    @pytest.fixture()
+    def projection(self, dataset):
+        return dataset.oracle.latent_projection
+
+    def test_fidelity_validation(self, projection):
+        with pytest.raises(DataValidationError):
+            SimulatedEmbedding("bad", 8, 1.5, 0.0, projection)
+
+    def test_deterministic_transform(self, dataset, projection):
+        emb = SimulatedEmbedding("e", 16, 0.7, 1e-4, projection, seed=0)
+        emb.fit(dataset.train_x)
+        a = emb.transform(dataset.test_x)
+        b = emb.transform(dataset.test_x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_transform_before_fit_raises(self, dataset, projection):
+        emb = SimulatedEmbedding("e", 16, 0.7, 1e-4, projection, seed=0)
+        with pytest.raises(DataValidationError):
+            emb.transform(dataset.test_x)
+
+    def test_higher_fidelity_gives_lower_1nn_error(self, dataset, projection):
+        from repro.knn.brute_force import BruteForceKNN
+
+        errors = {}
+        for fidelity in (0.1, 0.95):
+            emb = SimulatedEmbedding(
+                f"e{fidelity}", 16, fidelity, 1e-4, projection, seed=0
+            ).fit(dataset.train_x)
+            train_f = emb.transform(dataset.train_x)
+            test_f = emb.transform(dataset.test_x)
+            errors[fidelity] = (
+                BruteForceKNN()
+                .fit(train_f, dataset.train_y)
+                .error(test_f, dataset.test_y)
+            )
+        assert errors[0.95] < errors[0.1]
+
+    def test_inference_cost_scales_linearly(self, projection):
+        emb = SimulatedEmbedding("e", 8, 0.5, 2e-4, projection, seed=0)
+        assert emb.inference_cost(1000) == pytest.approx(0.2)
+
+    def test_wrong_raw_dim_raises(self, dataset, projection, rng):
+        emb = SimulatedEmbedding("e", 8, 0.5, 1e-4, projection, seed=0)
+        with pytest.raises(DataValidationError):
+            emb.fit(rng.normal(size=(10, 3)))
+
+
+class TestFittedCatalog:
+    def test_duplicate_names_raise(self):
+        with pytest.raises(DataValidationError, match="duplicate"):
+            FittedCatalog([IdentityTransform(3), IdentityTransform(3)])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            FittedCatalog([])
+
+    def test_getitem_by_name(self, data):
+        catalog = FittedCatalog([IdentityTransform(12), PCATransform(3)])
+        catalog.fit(data)
+        assert catalog["pca_3"].output_dim == 3
+        with pytest.raises(KeyError):
+            catalog["missing"]
+
+    def test_total_inference_cost(self, dataset):
+        projection = dataset.oracle.latent_projection
+        catalog = FittedCatalog([
+            SimulatedEmbedding("a", 8, 0.5, 1e-4, projection, seed=0),
+            SimulatedEmbedding("b", 8, 0.5, 3e-4, projection, seed=1),
+        ])
+        assert catalog.total_inference_cost(100) == pytest.approx(0.04)
