@@ -32,6 +32,10 @@ class TransformationArm:
         Test split; embedded once, up front (test sets are small).
     metric:
         Distance metric for the 1NN evaluator.
+    knn_backend:
+        Search backend for the 1NN evaluator, resolved through
+        :func:`repro.knn.base.make_index`; ``None`` keeps the built-in
+        exact pairwise scan.
     """
 
     def __init__(
@@ -42,6 +46,7 @@ class TransformationArm:
         test_x: np.ndarray,
         test_y: np.ndarray,
         metric: str = "euclidean",
+        knn_backend: str | None = None,
     ):
         if not transform.fitted:
             raise DataValidationError(
@@ -53,7 +58,9 @@ class TransformationArm:
         if len(self._train_x) == 0:
             raise DataValidationError("arm needs a non-empty training pool")
         embedded_test = transform.transform(np.asarray(test_x, dtype=np.float64))
-        self.evaluator = ProgressiveOneNN(embedded_test, test_y, metric=metric)
+        self.evaluator = ProgressiveOneNN(
+            embedded_test, test_y, metric=metric, knn_backend=knn_backend
+        )
         self.sim_cost = transform.inference_cost(len(test_y))
         self.losses: list[float] = []
         self.pull_sizes: list[int] = []
@@ -110,6 +117,7 @@ def build_arms(
     dataset,
     metric: str = "euclidean",
     rng: SeedLike = None,
+    knn_backend: str | None = None,
 ) -> list[TransformationArm]:
     """Fit each transform on the training split and wrap it in an arm.
 
@@ -133,6 +141,7 @@ def build_arms(
                 dataset.test_x,
                 dataset.test_y,
                 metric=metric,
+                knn_backend=knn_backend,
             )
         )
     return arms

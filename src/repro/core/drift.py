@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.estimators.cover_hart import cover_hart_lower_bound
 from repro.exceptions import DataValidationError
-from repro.knn.brute_force import BruteForceKNN
+from repro.knn.base import make_index
 
 
 class SlidingWindowBER:
@@ -48,6 +48,9 @@ class SlidingWindowBER:
     eval_fraction:
         Fraction of the window held out as the evaluation split (the
         most recent samples, so the estimate reflects "now").
+    knn_backend:
+        kNN index backend for the 1NN evaluation, built through
+        :func:`repro.knn.base.make_index` ("brute_force" by default).
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class SlidingWindowBER:
         window_size: int = 512,
         metric: str = "euclidean",
         eval_fraction: float = 0.25,
+        knn_backend: str = "brute_force",
     ):
         if num_classes < 2:
             raise DataValidationError("num_classes must be >= 2")
@@ -67,6 +71,7 @@ class SlidingWindowBER:
         self.window_size = window_size
         self.metric = metric
         self.eval_fraction = eval_fraction
+        self.knn_backend = knn_backend
         self._features: deque[np.ndarray] = deque(maxlen=window_size)
         self._labels: deque[int] = deque(maxlen=window_size)
         self._seen = 0
@@ -112,7 +117,7 @@ class SlidingWindowBER:
         labels = np.array(self._labels)
         cut = int(len(labels) * (1.0 - self.eval_fraction))
         cut = min(max(cut, 2), len(labels) - 2)
-        index = BruteForceKNN(metric=self.metric).fit(
+        index = make_index(self.knn_backend, metric=self.metric).fit(
             features[:cut], labels[:cut]
         )
         error = index.error(features[cut:], labels[cut:], k=1)

@@ -72,6 +72,10 @@ class SnoopyConfig:
         Distance metric for the 1NN evaluators; "auto" selects cosine
         dissimilarity for text datasets and euclidean otherwise
         (following the paper's per-modality convention).
+    knn_backend:
+        Nearest-neighbor backend for the streamed evaluators, resolved
+        through :func:`repro.knn.base.make_index`; ``None`` (default)
+        keeps the built-in exact pairwise scan.
     top_up_winner:
         After selection, feed the winner the rest of the training pool.
     extrapolate:
@@ -85,6 +89,7 @@ class SnoopyConfig:
     budget: int | None = None
     pull_size: int | None = None
     metric: str = "auto"
+    knn_backend: str | None = None
     top_up_winner: bool = True
     extrapolate: bool = True
     perfect_arm_name: str | None = None
@@ -211,6 +216,7 @@ class Snoopy:
                     dataset.test_x,
                     dataset.test_y,
                     metric=metric,
+                    knn_backend=self.config.knn_backend,
                 )
             )
         return arms

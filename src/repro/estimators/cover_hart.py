@@ -20,7 +20,7 @@ from repro.estimators.base import (
     register_estimator,
 )
 from repro.exceptions import DataValidationError
-from repro.knn.brute_force import BruteForceKNN
+from repro.knn.base import make_index
 
 
 def cover_hart_lower_bound(one_nn_error: float, num_classes: int) -> float:
@@ -51,12 +51,15 @@ class OneNNEstimator(BayesErrorEstimator):
     """1NN test error mapped through the Cover–Hart bound (Eq. 2).
 
     ``value`` is the lower bound (Snoopy's R̂ for one transformation);
-    ``upper`` is the raw 1NN error.
+    ``upper`` is the raw 1NN error.  ``backend`` selects the kNN index
+    via :func:`repro.knn.base.make_index` ("brute_force" is exact and
+    the default; "ivf" trades exactness for speed at scale).
     """
 
-    def __init__(self, metric: str = "euclidean"):
+    def __init__(self, metric: str = "euclidean", backend: str = "brute_force"):
         self.name = "1nn"
         self.metric = metric
+        self.backend = backend
 
     def estimate(
         self,
@@ -69,12 +72,18 @@ class OneNNEstimator(BayesErrorEstimator):
         train_x, train_y, test_x, test_y = self._validate(
             train_x, train_y, test_x, test_y, num_classes
         )
-        index = BruteForceKNN(metric=self.metric).fit(train_x, train_y)
+        index = make_index(self.backend, metric=self.metric).fit(
+            train_x, train_y
+        )
         error = index.error(test_x, test_y, k=1)
         lower = cover_hart_lower_bound(error, num_classes)
         return BEREstimate(
             value=lower,
             lower=lower,
             upper=error,
-            details={"one_nn_error": error, "metric": self.metric},
+            details={
+                "one_nn_error": error,
+                "metric": self.metric,
+                "backend": self.backend,
+            },
         )

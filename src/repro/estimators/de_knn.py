@@ -17,19 +17,29 @@ from repro.estimators.base import (
     register_estimator,
 )
 from repro.exceptions import DataValidationError
-from repro.knn.brute_force import BruteForceKNN
+from repro.knn.base import make_index
 
 
 @register_estimator("de_knn")
 class DeKNNEstimator(BayesErrorEstimator):
-    """Plug-in BER estimate from kNN posterior frequencies."""
+    """Plug-in BER estimate from kNN posterior frequencies.
 
-    def __init__(self, k: int = 10, metric: str = "euclidean"):
+    ``backend`` selects the kNN index via
+    :func:`repro.knn.base.make_index`.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        metric: str = "euclidean",
+        backend: str = "brute_force",
+    ):
         if k < 1:
             raise DataValidationError(f"k must be >= 1, got {k}")
         self.name = f"de_knn_k{k}"
         self.k = k
         self.metric = metric
+        self.backend = backend
 
     def estimate(
         self,
@@ -43,7 +53,9 @@ class DeKNNEstimator(BayesErrorEstimator):
             train_x, train_y, test_x, test_y, num_classes
         )
         k = min(self.k, len(train_x))
-        index = BruteForceKNN(metric=self.metric).fit(train_x, train_y)
+        index = make_index(self.backend, metric=self.metric).fit(
+            train_x, train_y
+        )
         _, neighbor_idx = index.kneighbors(test_x, k=k)
         neighbor_labels = train_y[neighbor_idx]
         counts = np.zeros((len(test_x), num_classes))

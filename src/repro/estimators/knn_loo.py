@@ -19,19 +19,30 @@ from repro.estimators.base import (
 )
 from repro.estimators.cover_hart import cover_hart_lower_bound
 from repro.exceptions import DataValidationError
-from repro.knn.brute_force import BruteForceKNN
+from repro.knn.base import make_index
 
 
 @register_estimator("knn_loo")
 class KNNLooEstimator(BayesErrorEstimator):
-    """Leave-one-out kNN error on the pooled sample, Cover–Hart corrected."""
+    """Leave-one-out kNN error on the pooled sample, Cover–Hart corrected.
 
-    def __init__(self, k: int = 5, metric: str = "euclidean"):
+    ``backend`` selects the kNN index via
+    :func:`repro.knn.base.make_index`; it must provide ``loo_error``
+    (the exact backends "brute_force" and "incremental" do).
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        metric: str = "euclidean",
+        backend: str = "brute_force",
+    ):
         if k < 1:
             raise DataValidationError(f"k must be >= 1, got {k}")
         self.name = f"knn_loo_k{k}"
         self.k = k
         self.metric = metric
+        self.backend = backend
 
     def estimate(
         self,
@@ -48,7 +59,13 @@ class KNNLooEstimator(BayesErrorEstimator):
         pooled_x = np.concatenate([train_x, test_x])
         pooled_y = np.concatenate([train_y, test_y])
         k = min(self.k, len(pooled_x) - 1)
-        index = BruteForceKNN(metric=self.metric).fit(pooled_x, pooled_y)
+        index = make_index(self.backend, metric=self.metric)
+        if not hasattr(index, "loo_error"):
+            raise DataValidationError(
+                f"backend {self.backend!r} does not support leave-one-out "
+                "search; use an exact backend"
+            )
+        index.fit(pooled_x, pooled_y)
         loo_error = index.loo_error(k=k)
         lower = cover_hart_lower_bound(loo_error, num_classes)
         return BEREstimate(

@@ -3,25 +3,38 @@
 This subpackage is the computational core under every 1NN-based Bayes
 error estimate in the paper:
 
-- :mod:`repro.knn.metrics` — blocked pairwise distances (euclidean/cosine).
+- :mod:`repro.knn.base` — the :class:`KNNIndex` protocol all backends
+  implement, the :func:`make_index` factory that makes them swappable,
+  and the shared vectorized :func:`majority_vote` kernel.
+- :mod:`repro.knn.metrics` — blocked pairwise distances (euclidean/cosine)
+  and the shared blocked top-k search.
 - :mod:`repro.knn.brute_force` — an exact kNN index with prediction and
-  test-error helpers.
+  test-error helpers (backend "brute_force").
 - :mod:`repro.knn.progressive` — a streaming 1NN evaluator that ingests
   training data in batches and maintains the test error after every
   batch; this powers the convergence curves and the bandit arms.
-- :mod:`repro.knn.incremental` — the neighbor cache that makes re-running
-  Snoopy after label cleaning an O(test) operation (Section V of the
-  paper: cleaning labels never moves a nearest neighbor).
+- :mod:`repro.knn.incremental` — the append-only exact index (backend
+  "incremental") and the neighbor cache that makes re-running Snoopy
+  after label cleaning an O(test) operation (Section V of the paper:
+  cleaning labels never moves a nearest neighbor).
 - :mod:`repro.knn.kmeans` / :mod:`repro.knn.ivf` — the coarse quantizer
-  and inverted-file index behind the accelerator-style approximate
-  search the paper cites for scaling.
+  and inverted-file index (backend "ivf") behind the accelerator-style
+  approximate search the paper cites for scaling; its search paths are
+  fully vectorized.
 """
 
+from repro.knn.base import (
+    KNNIndex,
+    available_backends,
+    majority_vote,
+    make_index,
+)
 from repro.knn.brute_force import BruteForceKNN
-from repro.knn.incremental import NeighborCache
+from repro.knn.incremental import IncrementalKNNIndex, NeighborCache
 from repro.knn.ivf import IVFFlatIndex
 from repro.knn.kmeans import KMeans
 from repro.knn.metrics import (
+    blocked_topk,
     cosine_distances,
     euclidean_distances,
     pairwise_distances,
@@ -32,10 +45,16 @@ __all__ = [
     "BruteForceKNN",
     "CurvePoint",
     "IVFFlatIndex",
+    "IncrementalKNNIndex",
     "KMeans",
+    "KNNIndex",
     "NeighborCache",
     "ProgressiveOneNN",
+    "available_backends",
+    "blocked_topk",
     "cosine_distances",
     "euclidean_distances",
+    "majority_vote",
+    "make_index",
     "pairwise_distances",
 ]

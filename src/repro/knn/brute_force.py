@@ -3,6 +3,9 @@
 Used directly by the estimator zoo (kNN-LOO, DE-kNN) and by the baseline
 model zoo's kNN classifier.  For the streaming 1NN evaluation that Snoopy
 itself performs, see :mod:`repro.knn.progressive`.
+
+Implements the :class:`repro.knn.base.KNNIndex` protocol and is the
+default backend of :func:`repro.knn.base.make_index`.
 """
 
 from __future__ import annotations
@@ -10,10 +13,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DataValidationError
-from repro.knn.metrics import iter_blocks, pairwise_distances
+from repro.knn.base import (
+    ExactSearchMixin,
+    KNNIndex,
+    majority_vote,
+    register_backend,
+)
 
 
-class BruteForceKNN:
+@register_backend("brute_force")
+class BruteForceKNN(ExactSearchMixin, KNNIndex):
     """Exact kNN search over an in-memory corpus.
 
     Parameters
@@ -56,100 +65,15 @@ class BruteForceKNN:
             raise DataValidationError("index is not fitted; call fit() first")
         return self._x, self._y
 
-    def kneighbors(
-        self, queries: np.ndarray, k: int = 1, exclude_self: bool = False
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(distances, indices)`` of the k nearest corpus points.
-
-        With ``exclude_self=True`` the queries are assumed to be the
-        fitted corpus itself and each point's zero-distance self match is
-        removed (leave-one-out mode).
-        """
-        corpus, _ = self._require_fitted()
-        queries = np.asarray(queries, dtype=np.float64)
-        effective_k = k + 1 if exclude_self else k
-        if effective_k > len(corpus):
-            raise DataValidationError(
-                f"k={k} (effective {effective_k}) exceeds corpus size {len(corpus)}"
-            )
-        n = len(queries)
-        all_dist = np.empty((n, effective_k))
-        all_idx = np.empty((n, effective_k), dtype=np.int64)
-        for block in iter_blocks(n, self.block_size):
-            dist = pairwise_distances(queries[block], corpus, metric=self.metric)
-            if exclude_self:
-                rows = np.arange(block.start, block.stop) - block.start
-                dist[rows, np.arange(block.start, block.stop)] = np.inf
-                part = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
-            else:
-                part = np.argpartition(dist, kth=effective_k - 1, axis=1)[
-                    :, :effective_k
-                ]
-            part_dist = np.take_along_axis(dist, part, axis=1)
-            order = np.argsort(part_dist, axis=1)
-            sorted_idx = np.take_along_axis(part, order, axis=1)
-            sorted_dist = np.take_along_axis(part_dist, order, axis=1)
-            if exclude_self:
-                all_dist[block, :k] = sorted_dist
-                all_idx[block, :k] = sorted_idx
-            else:
-                all_dist[block] = sorted_dist
-                all_idx[block] = sorted_idx
-        if exclude_self:
-            return all_dist[:, :k], all_idx[:, :k]
-        return all_dist, all_idx
-
-    def predict(self, queries: np.ndarray, k: int = 1) -> np.ndarray:
-        """Majority-vote kNN prediction; ties go to the closest neighbor."""
-        _, labels = self._require_fitted()
-        dist, idx = self.kneighbors(queries, k=k)
-        return _majority_vote(labels[idx], dist)
-
-    def error(self, queries: np.ndarray, true_labels: np.ndarray, k: int = 1) -> float:
-        """Misclassification rate of the kNN classifier on the queries."""
-        true_labels = np.asarray(true_labels)
-        if len(queries) != len(true_labels):
-            raise DataValidationError(
-                f"queries and labels length mismatch: "
-                f"{len(queries)} vs {len(true_labels)}"
-            )
-        predictions = self.predict(queries, k=k)
-        return float(np.mean(predictions != true_labels))
-
-    def loo_error(self, k: int = 1) -> float:
-        """Leave-one-out kNN error on the fitted corpus itself."""
-        corpus, labels = self._require_fitted()
-        dist, idx = self.kneighbors(corpus, k=k, exclude_self=True)
-        predictions = _majority_vote(labels[idx], dist)
-        return float(np.mean(predictions != labels))
+    # kneighbors / loo_error come from ExactSearchMixin; predict/error
+    # from KNNIndex.
 
 
 def _majority_vote(neighbor_labels: np.ndarray, distances: np.ndarray) -> np.ndarray:
-    """Vectorized majority vote; ties broken by the nearest neighbor's label.
+    """Backward-compatible alias for :func:`repro.knn.base.majority_vote`.
 
-    ``neighbor_labels`` has shape ``(n, k)`` ordered by increasing
-    distance, so using ``np.argmax`` on the count matrix plus a
-    nearest-first scan gives a deterministic, distance-aware tie-break.
+    The ``distances`` argument is unused: the labels arrive sorted by
+    distance, which is the only ordering information the vote needs.
     """
-    n, k = neighbor_labels.shape
-    if k == 1:
-        return neighbor_labels[:, 0].copy()
-    num_classes = int(neighbor_labels.max()) + 1
-    counts = np.zeros((n, num_classes), dtype=np.int64)
-    rows = np.repeat(np.arange(n), k)
-    np.add.at(counts, (rows, neighbor_labels.ravel()), 1)
-    max_count = counts.max(axis=1)
-    predictions = np.empty(n, dtype=np.int64)
-    for i in range(n):
-        # Among tied classes, pick the one whose representative appears
-        # earliest in the distance-sorted neighbor list.
-        tied = np.flatnonzero(counts[i] == max_count[i])
-        if len(tied) == 1:
-            predictions[i] = tied[0]
-        else:
-            tied_set = set(tied.tolist())
-            for label in neighbor_labels[i]:
-                if label in tied_set:
-                    predictions[i] = label
-                    break
-    return predictions
+    del distances
+    return majority_vote(neighbor_labels)

@@ -89,6 +89,51 @@ def iter_blocks(total: int, block_size: int) -> Iterator[slice]:
         yield slice(start, min(start + block_size, total))
 
 
+def blocked_topk(
+    queries: np.ndarray,
+    corpus: np.ndarray,
+    k: int,
+    metric: str = "euclidean",
+    block_size: int = 2048,
+    exclude_self: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-k search, blocked over query rows; returns ``(dist, idx)``.
+
+    The query-by-corpus distance matrix is materialized ``block_size``
+    query rows at a time, top-k selected with ``argpartition`` and the
+    k winners sorted.  With ``exclude_self=True`` the queries must BE
+    the corpus (same rows, same order): query ``i``'s match against
+    corpus column ``i`` is masked out (leave-one-out mode).  Passing a
+    different query set in that mode would mask arbitrary columns, so
+    the caller is expected to validate ``len(queries) == len(corpus)``.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    corpus = np.asarray(corpus, dtype=np.float64)
+    effective_k = k + 1 if exclude_self else k
+    if k < 1:
+        raise DataValidationError(f"k must be >= 1, got {k}")
+    if effective_k > len(corpus):
+        raise DataValidationError(
+            f"k={k} (effective {effective_k}) exceeds corpus size {len(corpus)}"
+        )
+    n = len(queries)
+    all_dist = np.empty((n, k))
+    all_idx = np.empty((n, k), dtype=np.int64)
+    for block in iter_blocks(n, block_size):
+        dist = pairwise_distances(queries[block], corpus, metric=metric)
+        if exclude_self:
+            dist[
+                np.arange(block.stop - block.start),
+                np.arange(block.start, block.stop),
+            ] = np.inf
+        part = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
+        part_dist = np.take_along_axis(dist, part, axis=1)
+        order = np.argsort(part_dist, axis=1)
+        all_idx[block] = np.take_along_axis(part, order, axis=1)
+        all_dist[block] = np.take_along_axis(part_dist, order, axis=1)
+    return all_dist, all_idx
+
+
 def blocked_argmin_distance(
     queries: np.ndarray,
     corpus: np.ndarray,

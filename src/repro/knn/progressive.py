@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DataValidationError
+from repro.knn.base import make_index
 from repro.knn.metrics import pairwise_distances
 
 
@@ -42,6 +43,16 @@ class ProgressiveOneNN:
     record_curve:
         When True (default), every :meth:`partial_fit` appends a
         :class:`CurvePoint` to :attr:`curve`.
+    knn_backend:
+        ``None`` (default) uses the built-in exact pairwise scan per
+        batch.  Otherwise a backend name for
+        :func:`repro.knn.base.make_index` ("brute_force", "ivf", ...):
+        each batch is indexed by that backend and the per-test nearest
+        neighbor comes from a 1NN query against it, making the search
+        substrate swappable.  A fresh index is built per batch, so an
+        approximate backend (quantizer training and all) only pays off
+        when batches are large; at typical bandit pull sizes the
+        built-in scan is the fastest option.
     """
 
     def __init__(
@@ -50,9 +61,12 @@ class ProgressiveOneNN:
         test_y: np.ndarray,
         metric: str = "euclidean",
         record_curve: bool = True,
+        knn_backend: str | None = None,
     ):
-        test_x = np.asarray(test_x, dtype=np.float64)
-        test_y = np.asarray(test_y, dtype=np.int64)
+        # np.array (not asarray): the evaluator owns private copies, so
+        # relabel_test can never write through to the caller's arrays.
+        test_x = np.array(test_x, dtype=np.float64)
+        test_y = np.array(test_y, dtype=np.int64)
         if test_x.ndim != 2:
             raise DataValidationError(f"test_x must be 2-D, got {test_x.shape}")
         if len(test_x) != len(test_y):
@@ -63,6 +77,12 @@ class ProgressiveOneNN:
             raise DataValidationError("test set must not be empty")
         self.metric = metric
         self.record_curve = record_curve
+        self.knn_backend = knn_backend
+        if knn_backend is not None:
+            # Fail fast on an unknown backend or an unsupported
+            # backend/metric pair instead of mid-stream at the first
+            # partial_fit.
+            make_index(knn_backend, metric=metric)
         self._test_x = test_x
         self._test_y = test_y
         self._nn_dist = np.full(len(test_x), np.inf)
@@ -105,9 +125,18 @@ class ProgressiveOneNN:
                 f"{len(batch_x)} vs {len(batch_y)}"
             )
         if len(batch_x) > 0:
-            dist = pairwise_distances(self._test_x, batch_x, metric=self.metric)
-            local = np.argmin(dist, axis=1)
-            local_dist = dist[np.arange(len(self._test_x)), local]
+            if self.knn_backend is None:
+                dist = pairwise_distances(
+                    self._test_x, batch_x, metric=self.metric
+                )
+                local = np.argmin(dist, axis=1)
+                local_dist = dist[np.arange(len(self._test_x)), local]
+            else:
+                index = make_index(self.knn_backend, metric=self.metric)
+                index.fit(batch_x, batch_y)
+                nn_dist, nn_idx = index.kneighbors(self._test_x, k=1)
+                local = nn_idx[:, 0]
+                local_dist = nn_dist[:, 0]
             improved = local_dist < self._nn_dist
             self._nn_dist[improved] = local_dist[improved]
             self._nn_label[improved] = batch_y[local[improved]]
