@@ -5,18 +5,25 @@ evaluator bound to the transformed test set.  Pulling the arm embeds the
 next chunk of training samples (accruing simulated inference cost) and
 updates the exact 1NN test error.  Losses are the 1NN errors — lower is
 better — exactly the quantity successive halving ranks on.
+
+Arms are the unit of work of the staged execution engine: the multi-pull
+plans (:meth:`TransformationArm.pull_to`,
+:meth:`TransformationArm.pull_with_tangent`,
+:meth:`TransformationArm.exhaust`) touch only the arm's own state, so a
+:class:`repro.core.engine.RoundScheduler` can run them on any backend —
+including across a pickle boundary — with bit-identical results.
 """
 
 from __future__ import annotations
 
-import inspect
-
 import numpy as np
 
+from repro.bandit.tangent import tangent_lower_bound
 from repro.exceptions import BudgetError, DataValidationError
 from repro.knn.progressive import ProgressiveOneNN
 from repro.rng import SeedLike, ensure_rng
-from repro.transforms.base import FeatureTransform
+from repro.transforms.base import FeatureTransform, fit_on
+from repro.transforms.store import EmbeddingStore, embed_or_transform
 
 
 class TransformationArm:
@@ -36,6 +43,17 @@ class TransformationArm:
         Search backend for the 1NN evaluator, resolved through
         :func:`repro.knn.base.make_index`; ``None`` keeps the built-in
         exact pairwise scan.
+    store:
+        Optional shared :class:`EmbeddingStore`; when given, every chunk
+        embedding is memoized, so sibling runs (another strategy, a
+        post-cleaning re-run) never recompute a transform output.
+    seed:
+        Optional per-arm RNG stream, exposed as :attr:`rng` (see
+        :func:`repro.core.engine.spawn_arm_streams`).  The current pull
+        path is fully deterministic and draws nothing; any future
+        stochastic arm step must use this stream (never a shared
+        generator) so results stay independent of the execution
+        schedule.
     """
 
     def __init__(
@@ -47,17 +65,23 @@ class TransformationArm:
         test_y: np.ndarray,
         metric: str = "euclidean",
         knn_backend: str | None = None,
+        store: EmbeddingStore | None = None,
+        seed: SeedLike = None,
     ):
         if not transform.fitted:
             raise DataValidationError(
                 f"arm {transform.name!r}: transform must be fitted"
             )
         self.transform = transform
+        self.store = store
+        self.rng = None if seed is None else ensure_rng(seed)
         self._train_x = np.asarray(train_x, dtype=np.float64)
         self._train_y = np.asarray(train_y, dtype=np.int64)
         if len(self._train_x) == 0:
             raise DataValidationError("arm needs a non-empty training pool")
-        embedded_test = transform.transform(np.asarray(test_x, dtype=np.float64))
+        embedded_test = embed_or_transform(
+            store, transform, np.asarray(test_x, dtype=np.float64)
+        )
         self.evaluator = ProgressiveOneNN(
             embedded_test, test_y, metric=metric, knn_backend=knn_backend
         )
@@ -86,6 +110,16 @@ class TransformationArm:
     def train_pool_size(self) -> int:
         return len(self._train_x)
 
+    @property
+    def train_labels(self) -> np.ndarray:
+        """Labels of this arm's (pre-shuffled) training pool (copy)."""
+        return self._train_y.copy()
+
+    @property
+    def test_labels(self) -> np.ndarray:
+        """Current test labels as seen by the evaluator (copy)."""
+        return self.evaluator.test_labels
+
     def pull(self, num_samples: int) -> float:
         """Embed and ingest up to ``num_samples`` further training points.
 
@@ -98,7 +132,7 @@ class TransformationArm:
         start = self.samples_used
         stop = min(start + num_samples, len(self._train_x))
         if stop > start:
-            chunk_x = self.transform.transform(self._train_x[start:stop])
+            chunk_x = self._embed_chunk(start, stop)
             loss = self.evaluator.partial_fit(chunk_x, self._train_y[start:stop])
             self.sim_cost += self.transform.inference_cost(stop - start)
         else:
@@ -107,9 +141,59 @@ class TransformationArm:
         self.pull_sizes.append(stop - start)
         return loss
 
+    def pull_to(self, target: int, pull_size: int) -> float:
+        """Pull chunk-wise until ``target`` cumulative samples are consumed.
+
+        Guarantees at least one loss reading exists once the target is
+        met (appending a zero-cost reading if needed), then returns the
+        current loss.  Self-contained: safe to run on any execution
+        backend.
+        """
+        while self.samples_used < target and not self.exhausted:
+            self.pull(min(pull_size, target - self.samples_used))
+        if self.samples_used >= target and (
+            not self.losses or self.pull_sizes[-1] == 0
+        ):
+            self.pull(0)
+        return self.current_loss
+
+    def pull_with_tangent(
+        self, target: int, pull_size: int, threshold: float
+    ) -> bool:
+        """Algorithm 2: pull chunk-wise, stop when provably eliminated.
+
+        After every chunk the tangent lower bound of the convergence
+        curve at ``target`` is compared against ``threshold`` (the worst
+        current loss of the round's protected better half); exceeding it
+        proves the arm cannot survive the round.  Returns True if the
+        arm completed the round (still a contender), False if pruned.
+        """
+        if not self.losses:
+            self.pull(min(pull_size, target))
+        while self.samples_used < target and not self.exhausted:
+            sizes, losses = self.loss_curve()
+            prediction = tangent_lower_bound(sizes, losses, target)
+            if prediction > threshold:
+                return False
+            self.pull(min(pull_size, target - self.samples_used))
+        return True
+
+    def exhaust(self, pull_size: int = 512) -> float:
+        """Feed the arm its entire remaining pool; returns the final loss."""
+        while not self.exhausted:
+            self.pull(pull_size)
+        return self.current_loss
+
     def loss_curve(self) -> tuple[np.ndarray, np.ndarray]:
         """(cumulative sample counts, losses) for convergence plots."""
         return self.evaluator.curve_arrays()
+
+    def _embed_chunk(self, start: int, stop: int) -> np.ndarray:
+        if self.store is not None:
+            return self.store.embed_rows(
+                self.transform, self._train_x, start, stop
+            )
+        return self.transform.transform(self._train_x[start:stop])
 
 
 def build_arms(
@@ -118,6 +202,7 @@ def build_arms(
     metric: str = "euclidean",
     rng: SeedLike = None,
     knn_backend: str | None = None,
+    store: EmbeddingStore | None = None,
 ) -> list[TransformationArm]:
     """Fit each transform on the training split and wrap it in an arm.
 
@@ -132,7 +217,7 @@ def build_arms(
     arms = []
     for transform in transforms:
         if not transform.fitted:
-            _fit_transform(transform, train_x, train_y)
+            fit_on(transform, train_x, train_y)
         arms.append(
             TransformationArm(
                 transform,
@@ -142,16 +227,7 @@ def build_arms(
                 dataset.test_y,
                 metric=metric,
                 knn_backend=knn_backend,
+                store=store,
             )
         )
     return arms
-
-
-def _fit_transform(
-    transform: FeatureTransform, x: np.ndarray, y: np.ndarray
-) -> None:
-    """Fit a transform, passing labels only to supervised ones (NCA)."""
-    if "y" in inspect.signature(transform.fit).parameters:
-        transform.fit(x, y)
-    else:
-        transform.fit(x)

@@ -25,6 +25,7 @@ def doubling_successive_halving(
     pull_size: int = 64,
     use_tangent: bool = False,
     max_doublings: int = 20,
+    scheduler=None,
 ) -> SelectionResult:
     """Run successive halving with doubling budgets until the winner
     exhausts its training pool.
@@ -37,14 +38,16 @@ def doubling_successive_halving(
     rounds = max(1, int(np.ceil(np.log2(len(arms)))))
     budget = initial_budget or pull_size * len(arms) * rounds
     result = successive_halving(
-        arms, budget, pull_size=pull_size, use_tangent=use_tangent
+        arms, budget, pull_size=pull_size, use_tangent=use_tangent,
+        scheduler=scheduler,
     )
     for _ in range(max_doublings):
         if result.winner.exhausted:
             break
         budget *= 2
         result = successive_halving(
-            arms, budget, pull_size=pull_size, use_tangent=use_tangent
+            arms, budget, pull_size=pull_size, use_tangent=use_tangent,
+            scheduler=scheduler,
         )
     result = SelectionResult(
         winner=result.winner,

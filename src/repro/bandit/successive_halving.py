@@ -12,6 +12,13 @@ convergence curve at the round's end exceeds the worst current loss among
 the protected better half — such an arm provably cannot survive the
 round, so skipping its remaining pulls cannot change the set of
 survivors, and all of successive halving's guarantees carry over.
+
+Within a round, arm pulls are independent: every surviving arm pulls to
+the same cumulative target using only its own state, and the tangent
+threshold is fixed (from the protected half) before any candidate is
+pulled.  Both loops therefore dispatch through a
+:class:`repro.core.engine.RoundScheduler`, which issues the pulls
+concurrently on the configured backend with bit-identical results.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bandit.arms import TransformationArm
-from repro.bandit.tangent import tangent_lower_bound
+from repro.core.engine import RoundScheduler
 from repro.exceptions import BudgetError
 
 
@@ -47,6 +54,7 @@ def successive_halving(
     budget: int,
     pull_size: int = 64,
     use_tangent: bool = False,
+    scheduler: RoundScheduler | None = None,
 ) -> SelectionResult:
     """Run Algorithm 1 (optionally with Algorithm 2's tangent breaks).
 
@@ -63,6 +71,9 @@ def successive_halving(
         every chunk.
     use_tangent:
         Enable the early-stopping variant.
+    scheduler:
+        Round scheduler carrying the execution backend; ``None`` runs
+        serially.  Results are bit-identical across backends.
     """
     if not arms:
         raise BudgetError("need at least one arm")
@@ -70,6 +81,7 @@ def successive_halving(
         raise BudgetError(f"budget must be positive, got {budget}")
     if pull_size < 1:
         raise BudgetError(f"pull_size must be positive, got {pull_size}")
+    scheduler = scheduler or RoundScheduler()
     num_arms = len(arms)
     rounds = max(1, int(np.ceil(np.log2(num_arms))))
     surviving = list(arms)
@@ -90,24 +102,25 @@ def successive_halving(
         keep = max(1, count // 2)
         if use_tangent:
             # The better half (by current loss) is protected and pulled in
-            # full; the rest may be pruned by the tangent rule.
+            # full; the rest may be pruned by the tangent rule.  The
+            # threshold is fixed before any candidate pulls, so the
+            # candidates are mutually independent and run concurrently.
             surviving.sort(key=lambda arm: arm.current_loss)
             protected, candidates = surviving[:keep], surviving[keep:]
-            for arm in protected:
-                _pull_to(arm, cumulative_target, pull_size)
+            scheduler.pull_to(protected, cumulative_target, pull_size)
             threshold = max(arm.current_loss for arm in protected)
+            survived = scheduler.pull_with_tangent(
+                candidates, cumulative_target, pull_size, threshold
+            )
             kept_candidates = []
-            for arm in candidates:
-                if _pull_with_tangent_breaks(
-                    arm, cumulative_target, pull_size, threshold
-                ):
+            for arm, kept in zip(candidates, survived):
+                if kept:
                     kept_candidates.append(arm)
                 else:
                     pruned_names.append(arm.name)
             surviving = protected + kept_candidates
         else:
-            for arm in surviving:
-                _pull_to(arm, cumulative_target, pull_size)
+            scheduler.pull_to(surviving, cumulative_target, pull_size)
         surviving.sort(key=lambda arm: arm.current_loss)
         surviving = surviving[:keep]
         history.append([arm.name for arm in surviving])
@@ -124,34 +137,3 @@ def successive_halving(
     )
 
 
-def _pull_to(arm: TransformationArm, target: int, pull_size: int) -> None:
-    """Pull in chunks until the arm has consumed ``target`` samples."""
-    while arm.samples_used < target and not arm.exhausted:
-        arm.pull(min(pull_size, target - arm.samples_used))
-    if arm.samples_used >= target and (
-        not arm.losses or arm.pull_sizes[-1] == 0
-    ):
-        # Ensure at least one loss reading exists at the target.
-        arm.pull(0)
-
-
-def _pull_with_tangent_breaks(
-    arm: TransformationArm,
-    target: int,
-    pull_size: int,
-    threshold: float,
-) -> bool:
-    """Algorithm 2: pull chunk-wise, stop early when provably eliminated.
-
-    Returns True if the arm completed the round (still a contender),
-    False if the tangent rule pruned it.
-    """
-    if not arm.losses:
-        arm.pull(min(pull_size, target))
-    while arm.samples_used < target and not arm.exhausted:
-        sizes, losses = arm.loss_curve()
-        prediction = tangent_lower_bound(sizes, losses, target)
-        if prediction > threshold:
-            return False
-        arm.pull(min(pull_size, target - arm.samples_used))
-    return True

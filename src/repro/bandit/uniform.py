@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.bandit.arms import TransformationArm
 from repro.bandit.successive_halving import SelectionResult
+from repro.core.engine import RoundScheduler
 from repro.exceptions import BudgetError
 
 
@@ -11,20 +12,23 @@ def uniform_allocation(
     arms: list[TransformationArm],
     budget: int,
     pull_size: int = 64,
+    scheduler: RoundScheduler | None = None,
 ) -> SelectionResult:
-    """Split the sample budget evenly across all arms, no elimination."""
+    """Split the sample budget evenly across all arms, no elimination.
+
+    Arms are mutually independent, so the single round dispatches through
+    the scheduler's execution backend (serial when ``scheduler`` is
+    ``None``) with bit-identical results.
+    """
     if not arms:
         raise BudgetError("need at least one arm")
     if budget < len(arms):
         raise BudgetError(
             f"budget {budget} smaller than the number of arms {len(arms)}"
         )
+    scheduler = scheduler or RoundScheduler()
     per_arm = budget // len(arms)
-    for arm in arms:
-        while arm.samples_used < per_arm and not arm.exhausted:
-            arm.pull(min(pull_size, per_arm - arm.samples_used))
-        if not arm.losses:
-            arm.pull(0)
+    scheduler.pull_to(arms, per_arm, pull_size)
     winner = min(arms, key=lambda arm: arm.current_loss)
     return SelectionResult(
         winner=winner,

@@ -19,6 +19,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.cleaning.costs import LABEL_REGIMES
+from repro.core.engine import backend_names
 from repro.core.snoopy import STRATEGIES, Snoopy, SnoopyConfig
 from repro.datasets import dataset_names, load
 from repro.datasets.catalog import DATASET_SPECS
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-embeddings", type=int, default=None,
         help="truncate the pre-trained catalog for speed",
     )
+    _add_engine_args(study)
     study.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
@@ -79,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--step", type=float, default=0.01,
         help="cleaning step fraction per iteration (default 0.01)",
     )
+    _add_cache_arg(loop)
 
     feebee = sub.add_parser(
         "feebee", help="evaluate BER estimators over a noise series"
@@ -90,6 +93,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimator(s) to evaluate (default: 1nn)",
     )
     return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--execution-backend", choices=backend_names(), default="serial",
+        help="how independent arm pulls run within a round "
+        "(default: serial; results are identical across backends)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker cap for parallel backends (default: available cores)",
+    )
+    _add_cache_arg(parser)
+
+
+def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--embedding-cache-mb", type=int, default=256,
+        help="shared embedding-store budget in MiB; 0 disables caching "
+        "(default 256)",
+    )
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -160,7 +184,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
     catalog = catalog_for(
         dataset, seed=args.seed, max_embeddings=args.max_embeddings
     )
-    config_kwargs = {"strategy": args.strategy, "seed": args.seed}
+    config_kwargs = {
+        "strategy": args.strategy,
+        "seed": args.seed,
+        "execution_backend": args.execution_backend,
+        "max_workers": args.max_workers,
+        "embedding_cache_bytes": args.embedding_cache_mb * 2**20,
+    }
     if args.strategy == "perfect":
         print("error: strategy 'perfect' needs oracle knowledge; "
               "use it from the API", file=sys.stderr)
@@ -193,6 +223,7 @@ def _cmd_clean_loop(args: argparse.Namespace) -> int:
     from repro.cleaning.costs import CostModel
     from repro.cleaning.simulator import CleaningSession
     from repro.cleaning.strategies import run_with_feasibility_study
+    from repro.transforms.store import EmbeddingStore
 
     dataset = _prepare_dataset(args, args.noise)
     if not dataset.is_noisy:
@@ -200,13 +231,25 @@ def _cmd_clean_loop(args: argparse.Namespace) -> int:
         return 2
     catalog = catalog_for(dataset, seed=args.seed, max_embeddings=6)
     catalog.fit(dataset.train_x)
+    # One store shared by the feasibility study and the expensive
+    # trainer: the test-split embedding is shared between them, and any
+    # repeated expensive run (cooldown retries; features never change,
+    # only labels) re-embeds nothing.  Train-pool blocks are not shared
+    # across the two — the study embeds the *permuted* pool.
+    store = (
+        EmbeddingStore(args.embedding_cache_mb * 2**20)
+        if args.embedding_cache_mb
+        else None
+    )
     trainer = FineTuneBaseline(
-        catalog, learning_rates=(0.05,), num_epochs=12, seed=args.seed
+        catalog, learning_rates=(0.05,), num_epochs=12, seed=args.seed,
+        store=store,
     )
     trace = run_with_feasibility_study(
         CleaningSession(dataset, rng=args.seed), trainer,
         args.target, CostModel.for_regime(args.regime),
         feasibility="snoopy", catalog=catalog, clean_step=args.step,
+        store=store,
     )
     rows = [
         [p.action, f"{100 * p.fraction_examined:.1f}%",

@@ -23,6 +23,16 @@ from repro.core.drift import (
     PageHinkleyDetector,
     SlidingWindowBER,
 )
+from repro.core.engine import (
+    ExecutionBackend,
+    ProcessBackend,
+    RoundScheduler,
+    SerialBackend,
+    ThreadBackend,
+    backend_names,
+    make_backend,
+    spawn_arm_streams,
+)
 from repro.core.guidance import (
     ExtrapolationResult,
     LogLinearFit,
@@ -37,25 +47,34 @@ from repro.core.result import (
     FeasibilitySignal,
     TransformResult,
 )
-from repro.core.snoopy import Snoopy, SnoopyConfig
+from repro.core.snoopy import RunContext, Snoopy, SnoopyConfig
 
 __all__ = [
     "BEREstimate",
     "ConvergenceCurve",
     "DriftAwareMonitor",
     "DriftEvent",
+    "ExecutionBackend",
     "PageHinkleyDetector",
+    "ProcessBackend",
+    "RoundScheduler",
+    "SerialBackend",
     "SlidingWindowBER",
+    "ThreadBackend",
     "ExtrapolationResult",
     "FeasibilityReport",
     "FeasibilitySignal",
     "IncrementalState",
     "LogLinearFit",
     "RegimeQuantities",
+    "RunContext",
     "Snoopy",
     "SnoopyConfig",
     "TransformResult",
     "aggregate_min",
+    "backend_names",
+    "make_backend",
+    "spawn_arm_streams",
     "condition_8_holds",
     "condition_9_holds",
     "estimate_regime_quantities",

@@ -14,20 +14,33 @@ Given a dataset and a target accuracy, Snoopy:
    samples-to-target extrapolation), and
 5. retains per-transformation neighbor caches so that re-running after
    label cleaning is O(test) (Section V, Figure 13).
+
+A run is a staged pipeline — **prepare → allocate → aggregate → guide**
+— over a shared :class:`RunContext`.  The allocate phase dispatches
+independent arm pulls through a :class:`repro.core.engine.RoundScheduler`
+(serial, thread or process backend; bit-identical results), and every
+embedding flows through a shared
+:class:`repro.transforms.store.EmbeddingStore`, so a second strategy run
+or a post-cleaning re-run never recomputes a transform output.
 """
 
 from __future__ import annotations
 
-import inspect
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bandit.arms import TransformationArm, build_arms
+from repro.bandit.arms import TransformationArm
 from repro.bandit.successive_halving import SelectionResult, successive_halving
 from repro.bandit.uniform import uniform_allocation
 from repro.core.aggregation import aggregate_min
+from repro.core.engine import (
+    RoundScheduler,
+    backend_names,
+    make_backend,
+    spawn_arm_streams,
+)
 from repro.core.guidance import ExtrapolationResult, extrapolate_samples_needed
 from repro.core.incremental import IncrementalState
 from repro.core.result import (
@@ -42,6 +55,8 @@ from repro.estimators.cover_hart import cover_hart_lower_bound
 from repro.exceptions import ConvergenceError, DataValidationError
 from repro.knn.incremental import NeighborCache
 from repro.rng import ensure_rng
+from repro.transforms.base import fit_on
+from repro.transforms.store import DEFAULT_CACHE_BYTES, EmbeddingStore
 
 STRATEGIES = (
     "successive_halving_tangent",
@@ -83,6 +98,16 @@ class SnoopyConfig:
     perfect_arm_name:
         Required when ``strategy == "perfect"``: evaluate only this arm
         (the oracle lower-bound strategy of Figure 12).
+    execution_backend:
+        How independent arm pulls run within a round: "serial" (default),
+        "thread" or "process".  Results are bit-identical across
+        backends; only wall-clock changes.
+    max_workers:
+        Worker cap for parallel backends; ``None`` uses the cores the
+        process may run on.
+    embedding_cache_bytes:
+        Byte budget of the shared :class:`EmbeddingStore` (default
+        256 MiB).  ``0`` or ``None`` disables embedding memoization.
     """
 
     strategy: str = "successive_halving_tangent"
@@ -94,6 +119,9 @@ class SnoopyConfig:
     extrapolate: bool = True
     perfect_arm_name: str | None = None
     seed: int | None = 0
+    execution_backend: str = "serial"
+    max_workers: int | None = None
+    embedding_cache_bytes: int | None = DEFAULT_CACHE_BYTES
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -104,6 +132,53 @@ class SnoopyConfig:
             raise DataValidationError(
                 "strategy 'perfect' requires perfect_arm_name"
             )
+        if self.execution_backend not in backend_names():
+            raise DataValidationError(
+                f"unknown execution backend {self.execution_backend!r}; "
+                f"expected one of {backend_names()}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise DataValidationError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
+        if (
+            self.embedding_cache_bytes is not None
+            and self.embedding_cache_bytes < 0
+        ):
+            raise DataValidationError(
+                "embedding_cache_bytes must be non-negative, "
+                f"got {self.embedding_cache_bytes}"
+            )
+
+
+@dataclass
+class RunContext:
+    """Mutable state threaded through the run phases.
+
+    ``prepare`` fills the inputs (metric, permutation, arms, scheduler),
+    ``allocate`` the :class:`SelectionResult`, ``aggregate`` the
+    per-transform estimates/curves and the winning aggregate, and
+    ``guide`` consumes everything to assemble the report.
+    """
+
+    dataset: object
+    target_accuracy: float
+    config: SnoopyConfig
+    started: float
+    metric: str = ""
+    order: np.ndarray | None = None
+    arms: list[TransformationArm] = field(default_factory=list)
+    scheduler: RoundScheduler | None = None
+    selection: SelectionResult | None = None
+    estimates: dict[str, BEREstimate] = field(default_factory=dict)
+    per_transform: list[TransformResult] = field(default_factory=list)
+    curves: dict[str, ConvergenceCurve] = field(default_factory=dict)
+    best_name: str = ""
+    best_estimate: BEREstimate | None = None
+
+    @property
+    def pull_size(self) -> int:
+        return self.config.pull_size or max(16, self.dataset.num_train // 20)
 
 
 @dataclass
@@ -128,13 +203,30 @@ class Snoopy:
         training split if needed.
     config:
         A :class:`SnoopyConfig`; defaults are the paper's configuration.
+    store:
+        Optional externally shared :class:`EmbeddingStore`.  When
+        omitted, the system owns one sized by
+        ``config.embedding_cache_bytes`` and keeps it across ``run``
+        calls, so successive strategy runs over the same catalog and
+        data re-embed nothing.
     """
 
-    def __init__(self, catalog, config: SnoopyConfig | None = None):
+    def __init__(
+        self,
+        catalog,
+        config: SnoopyConfig | None = None,
+        store: EmbeddingStore | None = None,
+    ):
         self.catalog = list(catalog)
         if not self.catalog:
             raise DataValidationError("catalog must contain at least one transform")
         self.config = config or SnoopyConfig()
+        if store is not None:
+            self.store: EmbeddingStore | None = store
+        elif self.config.embedding_cache_bytes:
+            self.store = EmbeddingStore(self.config.embedding_cache_bytes)
+        else:
+            self.store = None
         self._state: _RunState | None = None
 
     # ------------------------------------------------------------------
@@ -142,25 +234,21 @@ class Snoopy:
     # ------------------------------------------------------------------
 
     def run(self, dataset, target_accuracy: float) -> FeasibilityReport:
-        """Perform the feasibility study and return the full report."""
-        if not 0.0 < target_accuracy <= 1.0:
-            raise DataValidationError(
-                f"target_accuracy must be in (0, 1], got {target_accuracy}"
-            )
-        started = time.perf_counter()
-        rng = ensure_rng(self.config.seed)
-        metric = self._resolve_metric(dataset)
-        order = rng.permutation(dataset.num_train)
-        arms = self._build_arms(dataset, order, metric)
-        selection = self._allocate(arms, dataset.num_train)
-        if self.config.top_up_winner and not selection.winner.exhausted:
-            self._exhaust(selection.winner)
-        report = self._build_report(
-            dataset, target_accuracy, arms, selection, started
-        )
+        """Perform the feasibility study and return the full report.
+
+        The run is a staged pipeline over a :class:`RunContext`:
+        prepare → allocate → aggregate → guide.
+        """
+        ctx = self._prepare(dataset, target_accuracy)
+        try:
+            self._allocate(ctx)
+        finally:
+            ctx.scheduler.close()
+        self._aggregate(ctx)
+        report = self._guide(ctx)
         self._state = _RunState(
-            arms=arms,
-            order=order,
+            arms=ctx.arms,
+            order=ctx.order,
             num_classes=dataset.num_classes,
             dataset_name=dataset.name,
         )
@@ -181,17 +269,38 @@ class Snoopy:
                 shuffled_nn = arm.evaluator.nearest_indices
                 original_nn = state.order[shuffled_nn]
                 train_labels = np.empty(len(state.order), dtype=np.int64)
-                train_labels[state.order] = arm._train_y  # noqa: SLF001
+                train_labels[state.order] = arm.train_labels
                 state.caches[arm.name] = NeighborCache(
                     original_nn,
                     train_labels,
-                    arm.evaluator._test_y,  # noqa: SLF001
+                    arm.test_labels,
                 )
         return IncrementalState(dict(state.caches), state.num_classes)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Phase 1: prepare — validate, permute, fit, build arms + scheduler
     # ------------------------------------------------------------------
+
+    def _prepare(self, dataset, target_accuracy: float) -> RunContext:
+        if not 0.0 < target_accuracy <= 1.0:
+            raise DataValidationError(
+                f"target_accuracy must be in (0, 1], got {target_accuracy}"
+            )
+        config = self.config
+        ctx = RunContext(
+            dataset=dataset,
+            target_accuracy=target_accuracy,
+            config=config,
+            started=time.perf_counter(),
+        )
+        ctx.metric = self._resolve_metric(dataset)
+        rng = ensure_rng(config.seed)
+        ctx.order = rng.permutation(dataset.num_train)
+        ctx.arms = self._build_arms(dataset, ctx.order, ctx.metric)
+        ctx.scheduler = RoundScheduler(
+            make_backend(config.execution_backend, config.max_workers)
+        )
+        return ctx
 
     def _resolve_metric(self, dataset) -> str:
         if self.config.metric != "auto":
@@ -204,10 +313,11 @@ class Snoopy:
         # Build arms directly over the permuted pool (shared by all arms).
         train_x = dataset.train_x[order]
         train_y = dataset.train_y[order]
+        streams = spawn_arm_streams(self.config.seed, len(self.catalog))
         arms = []
-        for transform in self.catalog:
+        for transform, stream in zip(self.catalog, streams):
             if not transform.fitted:
-                _fit(transform, train_x, train_y)
+                fit_on(transform, train_x, train_y)
             arms.append(
                 TransformationArm(
                     transform,
@@ -217,29 +327,35 @@ class Snoopy:
                     dataset.test_y,
                     metric=metric,
                     knn_backend=self.config.knn_backend,
+                    store=self.store,
+                    seed=stream,
                 )
             )
         return arms
 
-    def _allocate(
-        self, arms: list[TransformationArm], num_train: int
-    ) -> SelectionResult:
+    # ------------------------------------------------------------------
+    # Phase 2: allocate — spend the sample budget across arms
+    # ------------------------------------------------------------------
+
+    def _allocate(self, ctx: RunContext) -> None:
         config = self.config
-        pull_size = config.pull_size or max(16, num_train // 20)
+        arms = ctx.arms
+        scheduler = ctx.scheduler
+        num_train = ctx.dataset.num_train
+        pull_size = ctx.pull_size
         rounds = max(1, int(np.ceil(np.log2(len(arms)))))
         budget = config.budget or num_train * rounds
         if config.strategy == "full":
-            for arm in arms:
-                self._exhaust(arm, pull_size)
+            scheduler.exhaust(arms, pull_size)
             winner = min(arms, key=lambda arm: arm.current_loss)
-            return SelectionResult(
+            ctx.selection = SelectionResult(
                 winner=winner,
                 strategy="full",
                 total_samples=sum(arm.samples_used for arm in arms),
                 total_sim_cost=sum(arm.sim_cost for arm in arms),
                 samples_per_arm={arm.name: arm.samples_used for arm in arms},
             )
-        if config.strategy == "perfect":
+        elif config.strategy == "perfect":
             winner = next(
                 (arm for arm in arms if arm.name == config.perfect_arm_name),
                 None,
@@ -248,48 +364,42 @@ class Snoopy:
                 raise DataValidationError(
                     f"perfect_arm_name {config.perfect_arm_name!r} not in catalog"
                 )
-            self._exhaust(winner, pull_size)
-            return SelectionResult(
+            winner.exhaust(pull_size)
+            ctx.selection = SelectionResult(
                 winner=winner,
                 strategy="perfect",
                 total_samples=winner.samples_used,
                 total_sim_cost=winner.sim_cost,
                 samples_per_arm={winner.name: winner.samples_used},
             )
-        if config.strategy == "uniform":
-            return uniform_allocation(arms, budget, pull_size=pull_size)
-        return successive_halving(
-            arms,
-            budget,
-            pull_size=pull_size,
-            use_tangent=config.strategy == "successive_halving_tangent",
-        )
+        elif config.strategy == "uniform":
+            ctx.selection = uniform_allocation(
+                arms, budget, pull_size=pull_size, scheduler=scheduler
+            )
+        else:
+            ctx.selection = successive_halving(
+                arms,
+                budget,
+                pull_size=pull_size,
+                use_tangent=config.strategy == "successive_halving_tangent",
+                scheduler=scheduler,
+            )
+        if config.top_up_winner and not ctx.selection.winner.exhausted:
+            ctx.selection.winner.exhaust()
 
-    @staticmethod
-    def _exhaust(arm: TransformationArm, pull_size: int = 512) -> None:
-        while not arm.exhausted:
-            arm.pull(pull_size)
+    # ------------------------------------------------------------------
+    # Phase 3: aggregate — per-arm estimates, curves, min-aggregation
+    # ------------------------------------------------------------------
 
-    def _build_report(
-        self,
-        dataset,
-        target_accuracy: float,
-        arms: list[TransformationArm],
-        selection: SelectionResult,
-        started: float,
-    ) -> FeasibilityReport:
-        num_classes = dataset.num_classes
-        per_transform: list[TransformResult] = []
-        estimates: dict[str, BEREstimate] = {}
-        curves: dict[str, ConvergenceCurve] = {}
-        for arm in arms:
+    def _aggregate(self, ctx: RunContext) -> None:
+        num_classes = ctx.dataset.num_classes
+        num_test = ctx.dataset.num_test
+        for arm in ctx.arms:
             if not arm.losses:
                 continue
             error = arm.current_loss
             lower = cover_hart_lower_bound(error, num_classes)
-            interval = ber_estimate_interval(
-                error, dataset.num_test, num_classes
-            )
+            interval = ber_estimate_interval(error, num_test, num_classes)
             estimate = BEREstimate(
                 value=lower,
                 lower=lower,
@@ -301,8 +411,8 @@ class Snoopy:
                     "confidence_high": interval.high,
                 },
             )
-            estimates[arm.name] = estimate
-            per_transform.append(
+            ctx.estimates[arm.name] = estimate
+            ctx.per_transform.append(
                 TransformResult(
                     transform_name=arm.name,
                     samples_used=arm.samples_used,
@@ -315,11 +425,18 @@ class Snoopy:
             curve_estimates = np.array(
                 [cover_hart_lower_bound(e, num_classes) for e in errors]
             )
-            curves[arm.name] = ConvergenceCurve(
+            ctx.curves[arm.name] = ConvergenceCurve(
                 arm.name, sizes, errors, curve_estimates
             )
-        best_name, best_estimate = aggregate_min(estimates)
-        target_error = 1.0 - target_accuracy
+        ctx.best_name, ctx.best_estimate = aggregate_min(ctx.estimates)
+
+    # ------------------------------------------------------------------
+    # Phase 4: guide — signal, trust band, extrapolation, report
+    # ------------------------------------------------------------------
+
+    def _guide(self, ctx: RunContext) -> FeasibilityReport:
+        best_estimate = ctx.best_estimate
+        target_error = 1.0 - ctx.target_accuracy
         signal = (
             FeasibilitySignal.REALISTIC
             if best_estimate.value <= target_error
@@ -331,20 +448,22 @@ class Snoopy:
         low = best_estimate.details["confidence_low"]
         high = best_estimate.details["confidence_high"]
         signal_confident = (low <= target_error) == (high <= target_error)
-        extrapolation = self._extrapolate(curves.get(best_name), target_error)
+        extrapolation = self._extrapolate(
+            ctx.curves.get(ctx.best_name), target_error
+        )
         return FeasibilityReport(
-            dataset_name=dataset.name,
-            target_accuracy=target_accuracy,
+            dataset_name=ctx.dataset.name,
+            target_accuracy=ctx.target_accuracy,
             signal=signal,
             ber_estimate=best_estimate.value,
-            best_transform=best_name,
+            best_transform=ctx.best_name,
             gap=target_error - best_estimate.value,
-            per_transform=per_transform,
-            curves=curves,
+            per_transform=ctx.per_transform,
+            curves=ctx.curves,
             extrapolation=extrapolation,
-            strategy=selection.strategy,
-            total_sim_cost_seconds=sum(arm.sim_cost for arm in arms),
-            wall_seconds=time.perf_counter() - started,
+            strategy=ctx.selection.strategy,
+            total_sim_cost_seconds=sum(arm.sim_cost for arm in ctx.arms),
+            wall_seconds=time.perf_counter() - ctx.started,
             signal_confident=signal_confident,
         )
 
@@ -361,10 +480,3 @@ class Snoopy:
             )
         except ConvergenceError:
             return None
-
-
-def _fit(transform, x: np.ndarray, y: np.ndarray) -> None:
-    if "y" in inspect.signature(transform.fit).parameters:
-        transform.fit(x, y)
-    else:
-        transform.fit(x)

@@ -166,11 +166,7 @@ class NeighborCache:
         return cls(
             evaluator.nearest_indices,
             train_labels,
-            # ProgressiveOneNN keeps its own test labels private; rebuild
-            # them from the stored nearest labels and the error structure
-            # is not possible, so the caller supplies train labels and we
-            # read test labels through the evaluator's public surface.
-            evaluator._test_y,  # noqa: SLF001 - same-package cooperation
+            evaluator.test_labels,
         )
 
     @property

@@ -12,7 +12,12 @@ Classical transformations (identity, PCA, random projection, NCA) are
 implemented for real on top of numpy.
 """
 
-from repro.transforms.base import FeatureTransform, FittedCatalog
+from repro.transforms.base import (
+    FeatureTransform,
+    FittedCatalog,
+    fit_on,
+    is_supervised,
+)
 from repro.transforms.catalog import (
     EmbeddingSpec,
     TEXT_EMBEDDINGS,
@@ -28,9 +33,15 @@ from repro.transforms.linear import (
 )
 from repro.transforms.nca import NCATransform
 from repro.transforms.pretrained import SimulatedEmbedding
+from repro.transforms.store import (
+    EmbeddingStore,
+    StoreStats,
+    embed_or_transform,
+)
 
 __all__ = [
     "EmbeddingSpec",
+    "EmbeddingStore",
     "FeatureTransform",
     "FittedCatalog",
     "IdentityTransform",
@@ -39,8 +50,12 @@ __all__ = [
     "RandomProjectionTransform",
     "SimulatedEmbedding",
     "StandardizeTransform",
+    "StoreStats",
     "TEXT_EMBEDDINGS",
     "VISION_EMBEDDINGS",
+    "embed_or_transform",
+    "fit_on",
+    "is_supervised",
     "text_catalog",
     "vision_catalog",
 ]

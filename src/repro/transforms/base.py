@@ -21,6 +21,33 @@ import numpy as np
 from repro.exceptions import DataValidationError
 
 
+def is_supervised(transform: "FeatureTransform") -> bool:
+    """True when the transform's ``fit`` consumes labels (e.g. NCA)."""
+    return "y" in inspect.signature(transform.fit).parameters
+
+
+def fit_on(
+    transform: "FeatureTransform",
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+) -> "FeatureTransform":
+    """Fit a transform, passing labels only to supervised ones.
+
+    The single home of the ``inspect.signature`` supervised-fit probe;
+    raises :class:`DataValidationError` when a supervised transform is
+    fitted without labels.
+    """
+    if is_supervised(transform):
+        if y is None:
+            raise DataValidationError(
+                f"{transform.name} is supervised; fitting requires labels"
+            )
+        transform.fit(x, y)
+    else:
+        transform.fit(x)
+    return transform
+
+
 class FeatureTransform(ABC):
     """A deterministic feature map with cost accounting.
 
@@ -88,15 +115,7 @@ class FittedCatalog:
     def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "FittedCatalog":
         """Fit every transform; labels are passed to supervised ones (NCA)."""
         for transform in self.transforms:
-            if "y" in inspect.signature(transform.fit).parameters:
-                if y is None:
-                    raise DataValidationError(
-                        f"{transform.name} is supervised; "
-                        "catalog.fit() needs labels"
-                    )
-                transform.fit(x, y)
-            else:
-                transform.fit(x)
+            fit_on(transform, x, y)
         return self
 
     def __iter__(self):

@@ -1,0 +1,350 @@
+"""Shared embedding memoization for the staged execution engine.
+
+Feature extraction dominates a feasibility study's runtime (Section V of
+the paper), yet the same chunk of training data is embedded by the same
+transformation again and again: once per allocation strategy compared,
+once more by the winner top-up, once more by every baseline that wants
+the full representation, and once more by the post-cleaning re-run path.
+The :class:`EmbeddingStore` removes all of that repeated work.
+
+Design
+------
+- **Block-aligned, content-addressed.**  A request for rows
+  ``[start, stop)`` of a source matrix is rounded out to fixed-size row
+  blocks aligned to the *source* (not to the request), and each block is
+  keyed by ``(transform, blake2b(block bytes))``.  Two strategies that
+  pull the same shuffled pool with different chunk boundaries therefore
+  share every cached block, and a second run that rebuilds an identical
+  pool array (same seed, same data) hits purely on content.
+- **Byte-budgeted LRU.**  Cached blocks are evicted least-recently-used
+  once the configured byte budget is exceeded, so the store is safe to
+  leave attached to a long-lived service.
+- **Thread-safe.**  Bookkeeping is guarded by a lock while the actual
+  ``transform.transform`` calls run outside it, so the ``thread``
+  execution backend embeds different arms concurrently.
+- **Process-friendly.**  Pickling a store (the ``process`` backend ships
+  arms to workers) transfers only its configuration; workers start with
+  an empty cache and the parent's cache is never clobbered.
+
+The store assumes a transform's fitted state is frozen once it has been
+used for embedding — re-fitting a transform on different data changes its
+output without changing the input bytes, so callers that re-fit must call
+:meth:`EmbeddingStore.invalidate` for that transform.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+#: Default byte budget for cached embeddings (256 MiB).
+DEFAULT_CACHE_BYTES = 256 * 2**20
+
+#: Default rows per cached block; requests are rounded out to blocks.
+DEFAULT_BLOCK_ROWS = 256
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Cumulative cache counters of an :class:`EmbeddingStore`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of block lookups served from cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EmbeddingStore:
+    """Memoizes ``transform.transform`` outputs at block granularity.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget for cached embedding blocks; least-recently-used
+        blocks are evicted once the budget is exceeded.
+    block_rows:
+        Rows per cached block.  Requests covering partial blocks embed
+        the whole block once — rows a progressive consumer would need
+        shortly anyway — and serve every later overlapping request from
+        cache regardless of its exact boundaries.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ):
+        if max_bytes < 1:
+            raise DataValidationError(
+                f"max_bytes must be positive, got {max_bytes}"
+            )
+        if block_rows < 1:
+            raise DataValidationError(
+                f"block_rows must be positive, got {block_rows}"
+            )
+        self.max_bytes = int(max_bytes)
+        self.block_rows = int(block_rows)
+        self._lock = threading.RLock()
+        # (transform token, block digest) -> embedded block (read-only).
+        self._blocks: "OrderedDict[tuple[str, bytes], np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        # Distinct transform objects get distinct tokens.  Weak
+        # references (with purge callbacks) guarantee a recycled id()
+        # can never alias two live transforms, without pinning anything:
+        # when a transform is collected, its token mapping and cached
+        # blocks are dropped.
+        self._tokens: dict[int, str] = {}
+        self._token_refs: dict[int, weakref.ref] = {}
+        self._token_counter = 0
+        # Per-source-array digest cache: id(source) -> {block -> digest},
+        # held weakly for the same reason — a collected source array
+        # releases its digest cache instead of leaking one entry (and,
+        # with strong pins, one full training matrix) per run.
+        self._digests: dict[int, dict[int, bytes]] = {}
+        self._digest_refs: dict[int, weakref.ref] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def embed(self, transform, x: np.ndarray) -> np.ndarray:
+        """Embed a full matrix through the cache (blocks aligned to row 0)."""
+        x = self._check_source(transform, x)
+        return self.embed_rows(transform, x, 0, len(x))
+
+    def embed_rows(
+        self, transform, source: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Embed rows ``[start, stop)`` of ``source``, block-aligned.
+
+        The returned array must be treated as read-only: single-block
+        requests are served as views of cached blocks (multi-block
+        requests concatenate, which copies).
+        """
+        source = self._check_source(transform, source)
+        if not 0 <= start <= stop <= len(source):
+            raise DataValidationError(
+                f"invalid row range [{start}, {stop}) for source of "
+                f"{len(source)} rows"
+            )
+        if stop == start:
+            return np.empty((0, transform.output_dim))
+        token = self._transform_token(transform)
+        block_size = self.block_rows
+        first = start // block_size
+        last = (stop - 1) // block_size
+        pieces: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        with self._lock:
+            for block in range(first, last + 1):
+                key = (token, self._block_digest(source, block))
+                cached = self._blocks.get(key)
+                if cached is not None:
+                    self._blocks.move_to_end(key)
+                    self._hits += 1
+                    pieces[block] = cached
+                else:
+                    missing.append(block)
+                    self._misses += 1
+        # Embed contiguous runs of missing blocks in one transform call
+        # each, outside the lock so concurrent arms embed in parallel.
+        for run_start, run_stop in _contiguous_runs(missing):
+            lo = run_start * block_size
+            hi = min(run_stop * block_size, len(source))
+            embedded = np.asarray(
+                transform.transform(source[lo:hi]), dtype=np.float64
+            )
+            for block in range(run_start, run_stop):
+                piece = np.ascontiguousarray(
+                    embedded[block * block_size - lo : (block + 1) * block_size - lo]
+                )
+                if np.may_share_memory(piece, source):
+                    # Pass-through transforms (identity) return views of
+                    # the source; cache an independent copy so caller
+                    # mutations can't corrupt it (or be frozen by the
+                    # read-only flag below).
+                    piece = piece.copy()
+                piece.setflags(write=False)
+                pieces[block] = piece
+        if missing:
+            with self._lock:
+                for block in missing:
+                    key = (token, self._block_digest(source, block))
+                    if key not in self._blocks:
+                        self._blocks[key] = pieces[block]
+                        self._bytes += pieces[block].nbytes
+                self._evict_over_budget()
+        parts = []
+        for block in range(first, last + 1):
+            lo = block * block_size
+            a = max(start - lo, 0)
+            b = min(stop - lo, block_size)
+            parts.append(pieces[block][a:b])
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=0)
+
+    def invalidate(self, transform) -> int:
+        """Drop every cached block of ``transform`` (after a re-fit).
+
+        Returns the number of blocks dropped.
+        """
+        with self._lock:
+            token = self._tokens.get(id(transform))
+            if token is None:
+                return 0
+            stale = [key for key in self._blocks if key[0] == token]
+            for key in stale:
+                self._bytes -= self._blocks.pop(key).nbytes
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all cached blocks and digest caches (counters are kept)."""
+        with self._lock:
+            self._blocks.clear()
+            self._bytes = 0
+            self._digests.clear()
+            self._digest_refs.clear()
+
+    @property
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats
+        return (
+            f"EmbeddingStore(blocks={len(self)}, "
+            f"bytes={stats.current_bytes}/{stats.max_bytes}, "
+            f"hit_rate={stats.hit_rate:.2f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling: ship configuration only (process workers start cold).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"max_bytes": self.max_bytes, "block_rows": self.block_rows}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_bytes"], state["block_rows"])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_source(transform, source: np.ndarray) -> np.ndarray:
+        source = np.asarray(source, dtype=np.float64)
+        if source.ndim != 2:
+            raise DataValidationError(
+                f"{transform.name}: source must be 2-D, got shape {source.shape}"
+            )
+        return source
+
+    def _transform_token(self, transform) -> str:
+        with self._lock:
+            key = id(transform)
+            token = self._tokens.get(key)
+            if token is None:
+                token = f"{transform.name}#{self._token_counter}"
+                self._token_counter += 1
+                self._tokens[key] = token
+                self._token_refs[key] = weakref.ref(
+                    transform,
+                    lambda _ref, key=key, token=token: self._drop_token(
+                        key, token
+                    ),
+                )
+            return token
+
+    def _drop_token(self, key: int, token: str) -> None:
+        """Weakref purge: a transform died; its blocks are unreachable."""
+        with self._lock:
+            self._tokens.pop(key, None)
+            self._token_refs.pop(key, None)
+            stale = [k for k in self._blocks if k[0] == token]
+            for k in stale:
+                self._bytes -= self._blocks.pop(k).nbytes
+
+    def _drop_digests(self, key: int) -> None:
+        """Weakref purge: a source array died; release its digest cache."""
+        with self._lock:
+            self._digests.pop(key, None)
+            self._digest_refs.pop(key, None)
+
+    def _block_digest(self, source: np.ndarray, block: int) -> bytes:
+        key = id(source)
+        per_source = self._digests.get(key)
+        if per_source is None:
+            per_source = {}
+            self._digests[key] = per_source
+            self._digest_refs[key] = weakref.ref(
+                source, lambda _ref, key=key: self._drop_digests(key)
+            )
+        digest = per_source.get(block)
+        if digest is None:
+            lo = block * self.block_rows
+            rows = np.ascontiguousarray(source[lo : lo + self.block_rows])
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(np.int64(rows.shape).tobytes())
+            hasher.update(rows.tobytes())
+            digest = hasher.digest()
+            per_source[block] = digest
+        return digest
+
+    def _evict_over_budget(self) -> None:
+        while self._bytes > self.max_bytes and self._blocks:
+            _, evicted = self._blocks.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self._evictions += 1
+
+
+def embed_or_transform(
+    store: EmbeddingStore | None, transform, x: np.ndarray
+) -> np.ndarray:
+    """Embed through ``store`` when one is attached, else directly."""
+    if store is None:
+        return transform.transform(x)
+    return store.embed(transform, x)
+
+
+def _contiguous_runs(blocks: list[int]) -> list[tuple[int, int]]:
+    """Group sorted block indices into half-open contiguous runs."""
+    runs: list[tuple[int, int]] = []
+    for block in blocks:
+        if runs and runs[-1][1] == block:
+            runs[-1] = (runs[-1][0], block + 1)
+        else:
+            runs.append((block, block + 1))
+    return runs
