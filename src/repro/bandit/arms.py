@@ -47,6 +47,11 @@ class TransformationArm:
         Optional shared :class:`EmbeddingStore`; when given, every chunk
         embedding is memoized, so sibling runs (another strategy, a
         post-cleaning re-run) never recompute a transform output.
+    dtype:
+        Compute dtype for the 1NN distance arithmetic
+        ("float32"/"float64"; ``None`` keeps the strict float64 path).
+        Pair a float32 arm with a float32 store so cached chunks feed
+        the evaluator without a widening round-trip.
     seed:
         Optional per-arm RNG stream, exposed as :attr:`rng` (see
         :func:`repro.core.engine.spawn_arm_streams`).  The current pull
@@ -66,6 +71,7 @@ class TransformationArm:
         metric: str = "euclidean",
         knn_backend: str | None = None,
         store: EmbeddingStore | None = None,
+        dtype=None,
         seed: SeedLike = None,
     ):
         if not transform.fitted:
@@ -74,6 +80,7 @@ class TransformationArm:
             )
         self.transform = transform
         self.store = store
+        self.dtype = dtype
         self.rng = None if seed is None else ensure_rng(seed)
         self._train_x = np.asarray(train_x, dtype=np.float64)
         self._train_y = np.asarray(train_y, dtype=np.int64)
@@ -83,7 +90,11 @@ class TransformationArm:
             store, transform, np.asarray(test_x, dtype=np.float64)
         )
         self.evaluator = ProgressiveOneNN(
-            embedded_test, test_y, metric=metric, knn_backend=knn_backend
+            embedded_test,
+            test_y,
+            metric=metric,
+            knn_backend=knn_backend,
+            dtype=dtype,
         )
         self.sim_cost = transform.inference_cost(len(test_y))
         self.losses: list[float] = []
@@ -203,6 +214,7 @@ def build_arms(
     rng: SeedLike = None,
     knn_backend: str | None = None,
     store: EmbeddingStore | None = None,
+    dtype=None,
 ) -> list[TransformationArm]:
     """Fit each transform on the training split and wrap it in an arm.
 
@@ -228,6 +240,7 @@ def build_arms(
                 metric=metric,
                 knn_backend=knn_backend,
                 store=store,
+                dtype=dtype,
             )
         )
     return arms

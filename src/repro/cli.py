@@ -21,6 +21,7 @@ from collections.abc import Sequence
 from repro.cleaning.costs import LABEL_REGIMES
 from repro.core.engine import backend_names
 from repro.core.snoopy import STRATEGIES, Snoopy, SnoopyConfig
+from repro.knn.kernels import DEFAULT_COMPUTE_DTYPE, VALID_COMPUTE_DTYPES
 from repro.datasets import dataset_names, load
 from repro.datasets.catalog import DATASET_SPECS
 from repro.estimators import ESTIMATOR_REGISTRY, get_estimator
@@ -114,6 +115,12 @@ def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
         help="shared embedding-store budget in MiB; 0 disables caching "
         "(default 256)",
     )
+    parser.add_argument(
+        "--dtype", choices=VALID_COMPUTE_DTYPES,
+        default=DEFAULT_COMPUTE_DTYPE,
+        help="compute precision for distance kernels and cached "
+        "embeddings (default: float32; float64 is the strict mode)",
+    )
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -190,6 +197,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         "execution_backend": args.execution_backend,
         "max_workers": args.max_workers,
         "embedding_cache_bytes": args.embedding_cache_mb * 2**20,
+        "compute_dtype": args.dtype,
     }
     if args.strategy == "perfect":
         print("error: strategy 'perfect' needs oracle knowledge; "
@@ -237,7 +245,7 @@ def _cmd_clean_loop(args: argparse.Namespace) -> int:
     # only labels) re-embeds nothing.  Train-pool blocks are not shared
     # across the two — the study embeds the *permuted* pool.
     store = (
-        EmbeddingStore(args.embedding_cache_mb * 2**20)
+        EmbeddingStore(args.embedding_cache_mb * 2**20, dtype=args.dtype)
         if args.embedding_cache_mb
         else None
     )
@@ -249,6 +257,7 @@ def _cmd_clean_loop(args: argparse.Namespace) -> int:
         CleaningSession(dataset, rng=args.seed), trainer,
         args.target, CostModel.for_regime(args.regime),
         feasibility="snoopy", catalog=catalog, clean_step=args.step,
+        snoopy_config=SnoopyConfig(seed=args.seed, compute_dtype=args.dtype),
         store=store,
     )
     rows = [

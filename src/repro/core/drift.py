@@ -51,6 +51,11 @@ class SlidingWindowBER:
     knn_backend:
         kNN index backend for the 1NN evaluation, built through
         :func:`repro.knn.base.make_index` ("brute_force" by default).
+    compute_dtype:
+        Compute precision for the 1NN evaluation ("float32"/"float64";
+        ``None`` keeps the strict float64 path).  A monitor re-estimates
+        on a hot loop, so the float32 path is the natural choice when
+        the stream is high-volume.
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class SlidingWindowBER:
         metric: str = "euclidean",
         eval_fraction: float = 0.25,
         knn_backend: str = "brute_force",
+        compute_dtype=None,
     ):
         if num_classes < 2:
             raise DataValidationError("num_classes must be >= 2")
@@ -72,6 +78,7 @@ class SlidingWindowBER:
         self.metric = metric
         self.eval_fraction = eval_fraction
         self.knn_backend = knn_backend
+        self.compute_dtype = compute_dtype
         self._features: deque[np.ndarray] = deque(maxlen=window_size)
         self._labels: deque[int] = deque(maxlen=window_size)
         self._seen = 0
@@ -117,9 +124,9 @@ class SlidingWindowBER:
         labels = np.array(self._labels)
         cut = int(len(labels) * (1.0 - self.eval_fraction))
         cut = min(max(cut, 2), len(labels) - 2)
-        index = make_index(self.knn_backend, metric=self.metric).fit(
-            features[:cut], labels[:cut]
-        )
+        index = make_index(
+            self.knn_backend, metric=self.metric, dtype=self.compute_dtype
+        ).fit(features[:cut], labels[:cut])
         error = index.error(features[cut:], labels[cut:], k=1)
         return cover_hart_lower_bound(error, self.num_classes)
 

@@ -54,6 +54,7 @@ from repro.estimators.confidence import ber_estimate_interval
 from repro.estimators.cover_hart import cover_hart_lower_bound
 from repro.exceptions import ConvergenceError, DataValidationError
 from repro.knn.incremental import NeighborCache
+from repro.knn.kernels import DEFAULT_COMPUTE_DTYPE, resolve_dtype
 from repro.rng import ensure_rng
 from repro.transforms.base import fit_on
 from repro.transforms.store import DEFAULT_CACHE_BYTES, EmbeddingStore
@@ -108,6 +109,16 @@ class SnoopyConfig:
     embedding_cache_bytes:
         Byte budget of the shared :class:`EmbeddingStore` (default
         256 MiB).  ``0`` or ``None`` disables embedding memoization.
+    compute_dtype:
+        Precision of every distance evaluation and of the cached
+        embedding blocks: "float32" (default — single-precision BLAS,
+        roughly twice the 1NN throughput and half the bytes per cached
+        embedding) or "float64" (strict mode, bit-compatible with the
+        historical pipeline; choose it when downstream analysis
+        compares errors at 1e-7 resolution or the embeddings span
+        extreme dynamic ranges).  Results are deterministic for either
+        choice; the two modes agree on 1NN errors up to distance ties
+        within float32 resolution.
     """
 
     strategy: str = "successive_halving_tangent"
@@ -122,6 +133,7 @@ class SnoopyConfig:
     execution_backend: str = "serial"
     max_workers: int | None = None
     embedding_cache_bytes: int | None = DEFAULT_CACHE_BYTES
+    compute_dtype: str = DEFAULT_COMPUTE_DTYPE
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -149,6 +161,7 @@ class SnoopyConfig:
                 "embedding_cache_bytes must be non-negative, "
                 f"got {self.embedding_cache_bytes}"
             )
+        resolve_dtype(self.compute_dtype)  # fail fast on an unknown dtype
 
 
 @dataclass
@@ -224,7 +237,10 @@ class Snoopy:
         if store is not None:
             self.store: EmbeddingStore | None = store
         elif self.config.embedding_cache_bytes:
-            self.store = EmbeddingStore(self.config.embedding_cache_bytes)
+            self.store = EmbeddingStore(
+                self.config.embedding_cache_bytes,
+                dtype=self.config.compute_dtype,
+            )
         else:
             self.store = None
         self._state: _RunState | None = None
@@ -328,6 +344,7 @@ class Snoopy:
                     metric=metric,
                     knn_backend=self.config.knn_backend,
                     store=self.store,
+                    dtype=self.config.compute_dtype,
                     seed=stream,
                 )
             )

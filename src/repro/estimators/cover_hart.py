@@ -53,13 +53,21 @@ class OneNNEstimator(BayesErrorEstimator):
     ``value`` is the lower bound (Snoopy's R̂ for one transformation);
     ``upper`` is the raw 1NN error.  ``backend`` selects the kNN index
     via :func:`repro.knn.base.make_index` ("brute_force" is exact and
-    the default; "ivf" trades exactness for speed at scale).
+    the default; "ivf" trades exactness for speed at scale).  ``dtype``
+    selects the compute precision ("float32"/"float64"; ``None`` keeps
+    the strict float64 path).
     """
 
-    def __init__(self, metric: str = "euclidean", backend: str = "brute_force"):
+    def __init__(
+        self,
+        metric: str = "euclidean",
+        backend: str = "brute_force",
+        dtype=None,
+    ):
         self.name = "1nn"
         self.metric = metric
         self.backend = backend
+        self.dtype = dtype
 
     def estimate(
         self,
@@ -72,9 +80,9 @@ class OneNNEstimator(BayesErrorEstimator):
         train_x, train_y, test_x, test_y = self._validate(
             train_x, train_y, test_x, test_y, num_classes
         )
-        index = make_index(self.backend, metric=self.metric).fit(
-            train_x, train_y
-        )
+        index = make_index(
+            self.backend, metric=self.metric, dtype=self.dtype
+        ).fit(train_x, train_y)
         error = index.error(test_x, test_y, k=1)
         lower = cover_hart_lower_bound(error, num_classes)
         return BEREstimate(

@@ -25,7 +25,8 @@ class DeKNNEstimator(BayesErrorEstimator):
     """Plug-in BER estimate from kNN posterior frequencies.
 
     ``backend`` selects the kNN index via
-    :func:`repro.knn.base.make_index`.
+    :func:`repro.knn.base.make_index`; ``dtype`` the compute precision
+    ("float32"/"float64"; ``None`` keeps the strict float64 path).
     """
 
     def __init__(
@@ -33,6 +34,7 @@ class DeKNNEstimator(BayesErrorEstimator):
         k: int = 10,
         metric: str = "euclidean",
         backend: str = "brute_force",
+        dtype=None,
     ):
         if k < 1:
             raise DataValidationError(f"k must be >= 1, got {k}")
@@ -40,6 +42,7 @@ class DeKNNEstimator(BayesErrorEstimator):
         self.k = k
         self.metric = metric
         self.backend = backend
+        self.dtype = dtype
 
     def estimate(
         self,
@@ -53,9 +56,9 @@ class DeKNNEstimator(BayesErrorEstimator):
             train_x, train_y, test_x, test_y, num_classes
         )
         k = min(self.k, len(train_x))
-        index = make_index(self.backend, metric=self.metric).fit(
-            train_x, train_y
-        )
+        index = make_index(
+            self.backend, metric=self.metric, dtype=self.dtype
+        ).fit(train_x, train_y)
         _, neighbor_idx = index.kneighbors(test_x, k=k)
         neighbor_labels = train_y[neighbor_idx]
         counts = np.zeros((len(test_x), num_classes))

@@ -28,7 +28,9 @@ class KNNLooEstimator(BayesErrorEstimator):
 
     ``backend`` selects the kNN index via
     :func:`repro.knn.base.make_index`; it must provide ``loo_error``
-    (the exact backends "brute_force" and "incremental" do).
+    (the exact backends "brute_force" and "incremental" do).  ``dtype``
+    selects the compute precision ("float32"/"float64"; ``None`` keeps
+    the strict float64 path).
     """
 
     def __init__(
@@ -36,6 +38,7 @@ class KNNLooEstimator(BayesErrorEstimator):
         k: int = 5,
         metric: str = "euclidean",
         backend: str = "brute_force",
+        dtype=None,
     ):
         if k < 1:
             raise DataValidationError(f"k must be >= 1, got {k}")
@@ -43,6 +46,7 @@ class KNNLooEstimator(BayesErrorEstimator):
         self.k = k
         self.metric = metric
         self.backend = backend
+        self.dtype = dtype
 
     def estimate(
         self,
@@ -59,7 +63,7 @@ class KNNLooEstimator(BayesErrorEstimator):
         pooled_x = np.concatenate([train_x, test_x])
         pooled_y = np.concatenate([train_y, test_y])
         k = min(self.k, len(pooled_x) - 1)
-        index = make_index(self.backend, metric=self.metric)
+        index = make_index(self.backend, metric=self.metric, dtype=self.dtype)
         if not hasattr(index, "loo_error"):
             raise DataValidationError(
                 f"backend {self.backend!r} does not support leave-one-out "

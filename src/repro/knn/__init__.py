@@ -6,6 +6,10 @@ error estimate in the paper:
 - :mod:`repro.knn.base` — the :class:`KNNIndex` protocol all backends
   implement, the :func:`make_index` factory that makes them swappable,
   and the shared vectorized :func:`majority_vote` kernel.
+- :mod:`repro.knn.kernels` — the dtype-aware :class:`DistanceKernel`
+  subsystem every distance evaluation runs through: bind-once cached
+  norms, a configurable float32/float64 compute dtype, and fused
+  blocked argmin/top-k primitives.
 - :mod:`repro.knn.metrics` — blocked pairwise distances (euclidean/cosine)
   and the shared blocked top-k search.
 - :mod:`repro.knn.brute_force` — an exact kNN index with prediction and
@@ -32,8 +36,18 @@ from repro.knn.base import (
 from repro.knn.brute_force import BruteForceKNN
 from repro.knn.incremental import IncrementalKNNIndex, NeighborCache
 from repro.knn.ivf import IVFFlatIndex
+from repro.knn.kernels import (
+    DEFAULT_COMPUTE_DTYPE,
+    VALID_COMPUTE_DTYPES,
+    CosineKernel,
+    DistanceKernel,
+    EuclideanKernel,
+    make_kernel,
+    resolve_dtype,
+)
 from repro.knn.kmeans import KMeans
 from repro.knn.metrics import (
+    blocked_argmin_distance,
     blocked_topk,
     cosine_distances,
     euclidean_distances,
@@ -42,8 +56,13 @@ from repro.knn.metrics import (
 from repro.knn.progressive import CurvePoint, ProgressiveOneNN
 
 __all__ = [
+    "DEFAULT_COMPUTE_DTYPE",
+    "VALID_COMPUTE_DTYPES",
     "BruteForceKNN",
+    "CosineKernel",
     "CurvePoint",
+    "DistanceKernel",
+    "EuclideanKernel",
     "IVFFlatIndex",
     "IncrementalKNNIndex",
     "KMeans",
@@ -51,10 +70,13 @@ __all__ = [
     "NeighborCache",
     "ProgressiveOneNN",
     "available_backends",
+    "blocked_argmin_distance",
     "blocked_topk",
     "cosine_distances",
     "euclidean_distances",
     "majority_vote",
     "make_index",
+    "make_kernel",
     "pairwise_distances",
+    "resolve_dtype",
 ]

@@ -30,7 +30,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.exceptions import DataValidationError
-from repro.knn.metrics import blocked_topk
+from repro.knn.kernels import DistanceKernel, make_kernel
 
 
 class KNNIndex(ABC):
@@ -84,10 +84,26 @@ class KNNIndex(ABC):
 class ExactSearchMixin:
     """Shared blocked exact search for corpus-backed backends.
 
-    Hosts the one copy of the exclude-self contract and the blocked
+    Hosts the one copy of the exclude-self contract and the fused
     top-k/leave-one-out plumbing; expects ``self.metric``,
-    ``self.block_size`` and ``_require_fitted() -> (corpus, labels)``.
+    ``self.block_size``, ``self.dtype``, a ``self._kernel_cache`` slot
+    (set to ``None`` whenever the corpus changes) and
+    ``_require_fitted() -> (corpus, labels)``.
+
+    The corpus-bound :class:`~repro.knn.kernels.DistanceKernel` is built
+    lazily on the first search and reused until invalidated, so the
+    corpus-side norms are computed once per fitted corpus instead of
+    once per ``kneighbors`` call.
     """
+
+    def _search_kernel(self) -> DistanceKernel:
+        """The corpus-bound distance kernel (built lazily, then cached)."""
+        corpus, _ = self._require_fitted()
+        if self._kernel_cache is None:
+            self._kernel_cache = make_kernel(
+                self.metric, corpus, dtype=self.dtype
+            )
+        return self._kernel_cache
 
     def kneighbors(
         self, queries: np.ndarray, k: int = 1, exclude_self: bool = False
@@ -100,21 +116,19 @@ class ExactSearchMixin:
         would silently mask arbitrary corpus columns, so a length
         mismatch raises :class:`DataValidationError`.
         """
-        corpus, _ = self._require_fitted()
-        queries = np.asarray(queries, dtype=np.float64)
-        if exclude_self and len(queries) != len(corpus):
+        kernel = self._search_kernel()
+        # No float64 pre-cast: the kernel casts straight to its compute
+        # dtype, so float32 queries feed a float32 index with zero
+        # widening copies.
+        queries = np.asarray(queries)
+        if exclude_self and len(queries) != kernel.num_bound:
             raise DataValidationError(
                 f"exclude_self=True requires the queries to be the fitted "
                 f"corpus itself, but got {len(queries)} queries for a corpus "
-                f"of {len(corpus)}"
+                f"of {kernel.num_bound}"
             )
-        return blocked_topk(
-            queries,
-            corpus,
-            k,
-            metric=self.metric,
-            block_size=self.block_size,
-            exclude_self=exclude_self,
+        return kernel.topk(
+            queries, k, block_size=self.block_size, exclude_self=exclude_self
         )
 
     def loo_error(self, k: int = 1) -> float:
@@ -166,7 +180,9 @@ def make_index(
         :class:`DataValidationError` instead of silently degrading.
     kwargs:
         Forwarded to the backend constructor (e.g. ``block_size`` for
-        the exact backends, ``nlist``/``nprobe``/``seed`` for IVF).
+        the exact backends, ``nlist``/``nprobe``/``seed`` for IVF, and
+        ``dtype`` — "float32"/"float64" compute precision — for all of
+        them).
     """
     _load_default_backends()
     name = _BACKEND_ALIASES.get(backend, backend)

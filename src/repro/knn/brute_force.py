@@ -19,6 +19,7 @@ from repro.knn.base import (
     majority_vote,
     register_backend,
 )
+from repro.knn.kernels import resolve_dtype
 
 
 @register_backend("brute_force")
@@ -31,13 +32,23 @@ class BruteForceKNN(ExactSearchMixin, KNNIndex):
         "euclidean" or "cosine".
     block_size:
         Number of query rows processed per distance block; bounds memory.
+    dtype:
+        Compute dtype for the distance arithmetic ("float32" or
+        "float64"); ``None`` (default) keeps the strict ``float64``
+        path.  The corpus-side norms are cached at ``fit`` and reused
+        across every ``kneighbors`` call.
     """
 
-    def __init__(self, metric: str = "euclidean", block_size: int = 2048):
+    def __init__(
+        self, metric: str = "euclidean", block_size: int = 2048, dtype=None
+    ):
         self.metric = metric
         self.block_size = block_size
+        resolve_dtype(dtype)  # fail fast, not at the first search
+        self.dtype = dtype
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self._kernel_cache = None
 
     @property
     def num_fitted(self) -> int:
@@ -58,6 +69,7 @@ class BruteForceKNN(ExactSearchMixin, KNNIndex):
             raise DataValidationError("cannot fit an empty corpus")
         self._x = x
         self._y = y.astype(np.int64)
+        self._kernel_cache = None
         return self
 
     def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:

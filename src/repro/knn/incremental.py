@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.exceptions import DataValidationError
 from repro.knn.base import ExactSearchMixin, KNNIndex, register_backend
+from repro.knn.kernels import resolve_dtype
 from repro.knn.progressive import ProgressiveOneNN
 
 
@@ -43,14 +44,25 @@ class IncrementalKNNIndex(ExactSearchMixin, KNNIndex):
         "euclidean" or "cosine".
     block_size:
         Query rows per distance block; bounds search memory.
+    dtype:
+        Compute dtype for the distance arithmetic ("float32" or
+        "float64"); ``None`` (default) keeps the strict ``float64``
+        path.  The corpus-bound kernel (cached norms) is invalidated on
+        every append and rebuilt lazily at the next search, so a burst
+        of appends followed by many searches pays for one rebuild.
     """
 
-    def __init__(self, metric: str = "euclidean", block_size: int = 2048):
+    def __init__(
+        self, metric: str = "euclidean", block_size: int = 2048, dtype=None
+    ):
         self.metric = metric
         self.block_size = block_size
+        resolve_dtype(dtype)  # fail fast, not at the first search
+        self.dtype = dtype
         self._buf_x: np.ndarray | None = None
         self._buf_y: np.ndarray | None = None
         self._size = 0
+        self._kernel_cache = None
 
     @property
     def num_fitted(self) -> int:
@@ -79,6 +91,7 @@ class IncrementalKNNIndex(ExactSearchMixin, KNNIndex):
         x, y = self._validate_batch(x, y)
         if len(x) == 0:
             return self
+        self._kernel_cache = None
         if self._buf_x is None:
             self._buf_x = x.copy()
             self._buf_y = y.copy()

@@ -28,12 +28,13 @@ import numpy as np
 
 from repro.exceptions import DataValidationError
 from repro.knn.base import KNNIndex, register_backend
+from repro.knn.kernels import iter_blocks, make_kernel, resolve_dtype
 from repro.knn.kmeans import KMeans
-from repro.knn.metrics import blocked_topk, euclidean_distances, iter_blocks
 from repro.rng import SeedLike
 
-#: Upper bound on the number of float64 entries a per-cluster distance
-#: block may hold; query groups are chunked to stay under it (~64 MiB).
+#: Upper bound on the number of compute-dtype entries a per-cluster
+#: distance block may hold; query groups are chunked to stay under it
+#: (~64 MiB at float64, ~32 MiB at float32).
 _GATHER_BUDGET = 8_000_000
 
 #: For k at or below this, per-cluster top-k uses iterated argmin sweeps
@@ -58,6 +59,12 @@ class IVFFlatIndex(KNNIndex):
         Number of query rows per distance block on the full-scan path
         (``nprobe == nlist``); bounds memory exactly like the
         brute-force index.
+    dtype:
+        Compute dtype for all distance arithmetic ("float32" or
+        "float64"); ``None`` (default) keeps the strict ``float64``
+        path.  The corpus, its list-major copy and the cached
+        per-cluster squared norms are all held in this dtype, so the
+        float32 mode also halves the index's memory footprint.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class IVFFlatIndex(KNNIndex):
         nprobe: int = 4,
         seed: SeedLike = 0,
         block_size: int = 2048,
+        dtype=None,
     ):
         if nlist < 1:
             raise DataValidationError("nlist must be >= 1")
@@ -76,6 +84,8 @@ class IVFFlatIndex(KNNIndex):
         self.nlist = nlist
         self.nprobe = self._requested_nprobe
         self.block_size = block_size
+        self.dtype = dtype
+        self._dtype = resolve_dtype(dtype)
         self._seed = seed
         self._quantizer: KMeans | None = None
         self._lists: list[np.ndarray] | None = None  # member indices
@@ -85,6 +95,8 @@ class IVFFlatIndex(KNNIndex):
         self._x_by_list: np.ndarray | None = None  # corpus rows, list-major
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self._corpus_kernel = None  # full-scan path, corpus norms cached
+        self._centroid_kernel = None  # probe ordering, centroid norms cached
 
     @property
     def num_fitted(self) -> int:
@@ -106,7 +118,9 @@ class IVFFlatIndex(KNNIndex):
         # the full requested partition count.
         self.nlist = min(self._requested_nlist, len(x))
         self.nprobe = min(self._requested_nprobe, self.nlist)
-        self._quantizer = KMeans(self.nlist, seed=self._seed).fit(x)
+        self._quantizer = KMeans(
+            self.nlist, seed=self._seed, dtype=self.dtype
+        ).fit(x)
         assignment = self._quantizer.predict(x)
         self._lists = [
             np.flatnonzero(assignment == cluster)
@@ -119,11 +133,21 @@ class IVFFlatIndex(KNNIndex):
         self._list_starts = np.concatenate(
             ([0], np.cumsum(self._list_sizes[:-1]))
         )
-        # List-major corpus copy: each partition's vectors are one
-        # contiguous slice, so per-cluster distance blocks need no gather.
-        self._x_by_list = x[self._members]
-        self._sq_by_list = np.sum(self._x_by_list * self._x_by_list, axis=1)
-        self._x, self._y = x, y
+        # The corpus and all derived state live in the compute dtype.
+        # The corpus kernel (full-scan path) caches the corpus norms
+        # once; the list-major copy reuses them, permuted, so each
+        # partition's vectors AND norms are contiguous slices and
+        # per-cluster distance blocks need no gather.
+        self._x = np.asarray(x, dtype=self._dtype)
+        self._corpus_kernel = make_kernel(
+            "euclidean", self._x, dtype=self.dtype
+        )
+        self._x_by_list = self._x[self._members]
+        self._sq_by_list = self._corpus_kernel.bound_norms_sq[self._members]
+        self._centroid_kernel = make_kernel(
+            "euclidean", self._quantizer.centroids, dtype=self.dtype
+        )
+        self._y = y
         return self
 
     def kneighbors(
@@ -137,7 +161,9 @@ class IVFFlatIndex(KNNIndex):
         """
         if self._quantizer is None or self._x is None:
             raise DataValidationError("index is not fitted")
-        queries = np.asarray(queries, dtype=np.float64)
+        queries = np.asarray(queries, dtype=self._dtype)
+        if queries.ndim != 2:
+            raise DataValidationError("queries must be 2-D")
         if k > len(self._x):
             raise DataValidationError(
                 f"k={k} exceeds corpus size {len(self._x)}"
@@ -147,10 +173,14 @@ class IVFFlatIndex(KNNIndex):
         out_idx = np.empty((n, k), dtype=np.int64)
         if n == 0:
             return out_dist, out_idx
-        centroid_dist = euclidean_distances(
-            queries, self._quantizer.centroids
+        # Query-side squared norms, computed once and reused by every
+        # probe-depth group below (the centroid kernel holds the
+        # centroid-side norms across calls).
+        query_sq = np.sum(queries * queries, axis=1)
+        centroid_cmp = self._centroid_kernel.comparable_from(
+            queries, state=query_sq
         )
-        probe_order = np.argsort(centroid_dist, axis=1)
+        probe_order = np.argsort(centroid_cmp, axis=1)
         # Cumulative candidate counts along each query's probe order give
         # the vectorized probe-widening rule: probe the configured
         # nprobe partitions, or as many more as it takes to reach k
@@ -162,17 +192,17 @@ class IVFFlatIndex(KNNIndex):
             rows = np.flatnonzero(depth == probes)
             if probes == self.nlist:
                 # Full scan: every partition probed — identical to brute
-                # force, including tie behavior.
-                dist, idx = blocked_topk(
-                    queries[rows],
-                    self._x,
-                    k,
-                    metric="euclidean",
-                    block_size=self.block_size,
+                # force, including tie behavior (same kernel computation
+                # as the brute-force backend).
+                dist, idx = self._corpus_kernel.topk(
+                    queries[rows], k, block_size=self.block_size
                 )
             else:
                 dist, idx = self._search_probed(
-                    queries[rows], probe_order[rows, :probes], k
+                    queries[rows],
+                    query_sq[rows],
+                    probe_order[rows, :probes],
+                    k,
                 )
             out_dist[rows] = dist
             out_idx[rows] = idx
@@ -181,6 +211,7 @@ class IVFFlatIndex(KNNIndex):
     def _search_probed(
         self,
         queries: np.ndarray,
+        query_sq: np.ndarray,
         probe_clusters: np.ndarray,
         k: int,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -198,7 +229,7 @@ class IVFFlatIndex(KNNIndex):
         p = probe_clusters.shape[1]
         out_dist = np.empty((g, k))
         out_idx = np.empty((g, k), dtype=np.int64)
-        query_sq = np.sum(queries * queries, axis=1)
+        two = self._dtype.type(2.0)
         # Both the per-cluster distance blocks (chunk x max_size) and the
         # semifinal pools (chunk x p*k) must fit the budget.
         max_size = int(self._list_sizes.max())
@@ -212,7 +243,7 @@ class IVFFlatIndex(KNNIndex):
             # partition (p * k slots, inf-padded) are enough to contain
             # the global top k.  Squared distances throughout; the
             # monotone sqrt is applied to the k winners only.
-            pool_dist = np.full((b, p * k), np.inf)
+            pool_dist = np.full((b, p * k), np.inf, dtype=self._dtype)
             pool_idx = np.full((b, p * k), -1, dtype=np.int64)
             # Cluster-major batching: every (query, probed-cluster) pair,
             # regrouped by cluster, so each partition is scanned with ONE
@@ -234,7 +265,7 @@ class IVFFlatIndex(KNNIndex):
                 sq = (
                     q_sq[rows][:, None]
                     + self._sq_by_list[None, start : start + size]
-                    - 2.0 * (q[rows] @ self._x_by_list[start : start + size].T)
+                    - two * (q[rows] @ self._x_by_list[start : start + size].T)
                 )
                 keep = min(k, size)
                 if keep == size:
@@ -246,7 +277,7 @@ class IVFFlatIndex(KNNIndex):
                     # allocation proportional to the block.
                     rr = np.arange(len(rows))
                     local = np.empty((len(rows), keep), dtype=np.int64)
-                    local_sq = np.empty((len(rows), keep))
+                    local_sq = np.empty((len(rows), keep), dtype=self._dtype)
                     for j in range(keep):
                         best = np.argmin(sq, axis=1)
                         local[:, j] = best
@@ -263,8 +294,8 @@ class IVFFlatIndex(KNNIndex):
             part_dist = np.take_along_axis(pool_dist, part, axis=1)
             order = np.argsort(part_dist, axis=1)
             top_sq = np.take_along_axis(part_dist, order, axis=1)
-            np.maximum(top_sq, 0.0, out=top_sq)
-            out_dist[block] = np.sqrt(top_sq)
+            np.maximum(top_sq, self._dtype.type(0.0), out=top_sq)
+            out_dist[block] = np.sqrt(top_sq, dtype=np.float64)
             top_slots = np.take_along_axis(part, order, axis=1)
             out_idx[block] = np.take_along_axis(pool_idx, top_slots, axis=1)
         return out_dist, out_idx

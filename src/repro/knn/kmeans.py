@@ -3,6 +3,13 @@
 Used as the coarse quantizer of the IVF index (:mod:`repro.knn.ivf`),
 mirroring how accelerator kNN libraries cited by the paper structure
 billion-scale search.  Kept deliberately small: fit / predict / inertia.
+
+All distance evaluations run through a
+:class:`repro.knn.kernels.EuclideanKernel` bound to the data, so the
+data-side squared norms are computed once per ``fit`` (instead of once
+per Lloyd iteration *and* once per k-means++ seeding step) and the
+arithmetic runs in the configured compute dtype.  Centroid updates
+(means) always accumulate in ``float64``.
 """
 
 from __future__ import annotations
@@ -10,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DataValidationError
-from repro.knn.metrics import euclidean_distances
+from repro.knn.kernels import make_kernel, resolve_dtype
 from repro.rng import SeedLike, ensure_rng
 
 
@@ -26,6 +33,10 @@ class KMeans:
         assignment is stable.
     seed:
         Seeds the k-means++ initialization.
+    dtype:
+        Compute dtype for the distance arithmetic ("float32" or
+        "float64"); ``None`` (default) keeps the strict ``float64``
+        path.  Centroids are stored in ``float64`` either way.
     """
 
     def __init__(
@@ -33,6 +44,7 @@ class KMeans:
         num_clusters: int,
         max_iterations: int = 25,
         seed: SeedLike = None,
+        dtype=None,
     ):
         if num_clusters < 1:
             raise DataValidationError("num_clusters must be >= 1")
@@ -40,19 +52,28 @@ class KMeans:
             raise DataValidationError("max_iterations must be >= 1")
         self.num_clusters = num_clusters
         self.max_iterations = max_iterations
+        resolve_dtype(dtype)  # fail fast, not at fit
+        self.dtype = dtype
         self._seed = seed
         self.centroids: np.ndarray | None = None
 
     def _init_centroids(
-        self, x: np.ndarray, rng: np.random.Generator
+        self, x: np.ndarray, rng: np.random.Generator, kernel
     ) -> np.ndarray:
-        """k-means++ seeding: spread initial centroids by D^2 sampling."""
+        """k-means++ seeding: spread initial centroids by D^2 sampling.
+
+        ``kernel`` is bound to ``x``; each step asks it for the squared
+        distance to the newest centroid only.  The running minimum and
+        the sampling probabilities accumulate in ``float64`` so the
+        float32 compute path cannot degrade ``rng.choice``'s
+        normalization.
+        """
         centroids = np.empty((self.num_clusters, x.shape[1]))
         centroids[0] = x[rng.integers(len(x))]
         closest_sq = np.full(len(x), np.inf)
         for i in range(1, self.num_clusters):
-            dist = euclidean_distances(x, centroids[i - 1 : i])[:, 0]
-            np.minimum(closest_sq, dist**2, out=closest_sq)
+            _, sq = kernel.nearest_among(centroids[i - 1 : i])
+            np.minimum(closest_sq, sq.astype(np.float64), out=closest_sq)
             total = closest_sq.sum()
             if total <= 0:
                 centroids[i] = x[rng.integers(len(x))]
@@ -70,11 +91,13 @@ class KMeans:
                 f"need at least {self.num_clusters} points, got {len(x)}"
             )
         rng = ensure_rng(self._seed)
-        centroids = self._init_centroids(x, rng)
+        # One kernel for the whole fit: x's squared norms are computed
+        # exactly once, shared by the ++ seeding and every Lloyd sweep.
+        kernel = make_kernel("euclidean", x, dtype=self.dtype)
+        centroids = self._init_centroids(x, rng, kernel)
         assignment = np.full(len(x), -1, dtype=np.int64)
         for _ in range(self.max_iterations):
-            dist = euclidean_distances(x, centroids)
-            new_assignment = np.argmin(dist, axis=1)
+            new_assignment, assigned_sq = kernel.nearest_among(centroids)
             if np.array_equal(new_assignment, assignment):
                 break
             assignment = new_assignment
@@ -84,7 +107,7 @@ class KMeans:
                     centroids[cluster] = x[mask].mean(axis=0)
                 else:
                     # Re-seed an empty cluster at the farthest point.
-                    farthest = np.argmax(dist[np.arange(len(x)), assignment])
+                    farthest = np.argmax(assigned_sq)
                     centroids[cluster] = x[farthest]
         self.centroids = centroids
         return self
@@ -93,13 +116,14 @@ class KMeans:
         """Nearest-centroid assignment for new points."""
         if self.centroids is None:
             raise DataValidationError("kmeans is not fitted")
-        x = np.asarray(x, dtype=np.float64)
-        return np.argmin(euclidean_distances(x, self.centroids), axis=1)
+        kernel = make_kernel("euclidean", x, dtype=self.dtype)
+        assignment, _ = kernel.nearest_among(self.centroids)
+        return assignment
 
     def inertia(self, x: np.ndarray) -> float:
         """Sum of squared distances to the assigned centroids."""
         if self.centroids is None:
             raise DataValidationError("kmeans is not fitted")
-        x = np.asarray(x, dtype=np.float64)
-        dist = euclidean_distances(x, self.centroids)
-        return float(np.sum(dist.min(axis=1) ** 2))
+        kernel = make_kernel("euclidean", x, dtype=self.dtype)
+        _, sq = kernel.nearest_among(self.centroids)
+        return float(np.sum(sq, dtype=np.float64))

@@ -4,15 +4,35 @@ The functions here are exact (no approximate nearest-neighbor search) but
 block the computation so that a large query-by-corpus distance matrix is
 never materialized at once.  Both metrics used in the paper (euclidean
 and cosine dissimilarity) are provided behind one dispatch function.
+
+The dense matrix functions (:func:`euclidean_distances`,
+:func:`cosine_distances`, :func:`pairwise_distances`) are the strict
+``float64`` reference implementations.  The fused search entry points
+(:func:`blocked_topk`, :func:`blocked_argmin_distance`) are thin
+wrappers over :mod:`repro.knn.kernels`: they accept a ``dtype`` to run
+the arithmetic in single precision, and default to ``float64`` so their
+historical results are unchanged.  Callers that reuse one query or
+corpus set across many calls should hold a
+:class:`repro.knn.kernels.DistanceKernel` directly — these wrappers
+rebuild the bound-side norm cache on every call.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
-
 import numpy as np
 
 from repro.exceptions import DataValidationError
+from repro.knn.kernels import iter_blocks, make_kernel
+
+__all__ = [
+    "VALID_METRICS",
+    "blocked_argmin_distance",
+    "blocked_topk",
+    "cosine_distances",
+    "euclidean_distances",
+    "iter_blocks",
+    "pairwise_distances",
+]
 
 VALID_METRICS = ("euclidean", "cosine")
 
@@ -81,14 +101,6 @@ def pairwise_distances(
     return func(a, b)
 
 
-def iter_blocks(total: int, block_size: int) -> Iterator[slice]:
-    """Yield contiguous slices covering ``range(total)`` in blocks."""
-    if block_size <= 0:
-        raise DataValidationError(f"block_size must be positive, got {block_size}")
-    for start in range(0, total, block_size):
-        yield slice(start, min(start + block_size, total))
-
-
 def blocked_topk(
     queries: np.ndarray,
     corpus: np.ndarray,
@@ -96,42 +108,23 @@ def blocked_topk(
     metric: str = "euclidean",
     block_size: int = 2048,
     exclude_self: bool = False,
+    dtype=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact top-k search, blocked over query rows; returns ``(dist, idx)``.
 
-    The query-by-corpus distance matrix is materialized ``block_size``
-    query rows at a time, top-k selected with ``argpartition`` and the
-    k winners sorted.  With ``exclude_self=True`` the queries must BE
-    the corpus (same rows, same order): query ``i``'s match against
-    corpus column ``i`` is masked out (leave-one-out mode).  Passing a
+    The query-by-corpus comparable-distance matrix is materialized
+    ``block_size`` query rows at a time, top-k selected with
+    ``argpartition`` and the k winners sorted and converted to true
+    distances.  With ``exclude_self=True`` the queries must BE the
+    corpus (same rows, same order): query ``i``'s match against corpus
+    column ``i`` is masked out (leave-one-out mode).  Passing a
     different query set in that mode would mask arbitrary columns, so
     the caller is expected to validate ``len(queries) == len(corpus)``.
+    ``dtype`` selects the compute precision (``None`` = ``float64``).
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    corpus = np.asarray(corpus, dtype=np.float64)
-    effective_k = k + 1 if exclude_self else k
-    if k < 1:
-        raise DataValidationError(f"k must be >= 1, got {k}")
-    if effective_k > len(corpus):
-        raise DataValidationError(
-            f"k={k} (effective {effective_k}) exceeds corpus size {len(corpus)}"
-        )
-    n = len(queries)
-    all_dist = np.empty((n, k))
-    all_idx = np.empty((n, k), dtype=np.int64)
-    for block in iter_blocks(n, block_size):
-        dist = pairwise_distances(queries[block], corpus, metric=metric)
-        if exclude_self:
-            dist[
-                np.arange(block.stop - block.start),
-                np.arange(block.start, block.stop),
-            ] = np.inf
-        part = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
-        part_dist = np.take_along_axis(dist, part, axis=1)
-        order = np.argsort(part_dist, axis=1)
-        all_idx[block] = np.take_along_axis(part, order, axis=1)
-        all_dist[block] = np.take_along_axis(part_dist, order, axis=1)
-    return all_dist, all_idx
+    return make_kernel(metric, corpus, dtype=dtype).topk(
+        queries, k, block_size=block_size, exclude_self=exclude_self
+    )
 
 
 def blocked_argmin_distance(
@@ -139,25 +132,18 @@ def blocked_argmin_distance(
     corpus: np.ndarray,
     metric: str = "euclidean",
     block_size: int = 1024,
+    dtype=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Nearest corpus index and distance for each query, block by block.
 
     Returns ``(indices, distances)`` with one entry per query row.  The
     corpus is scanned in blocks of ``block_size`` rows so memory stays
-    bounded by ``len(queries) * block_size`` floats.
+    bounded by ``len(queries) * block_size`` values.  ``dtype`` selects
+    the compute precision (``None`` = ``float64``).
     """
-    queries = np.asarray(queries, dtype=np.float64)
-    corpus = np.asarray(corpus, dtype=np.float64)
+    corpus = np.asarray(corpus)
     if len(corpus) == 0:
         raise DataValidationError("corpus must contain at least one point")
-    n_queries = len(queries)
-    best_dist = np.full(n_queries, np.inf)
-    best_idx = np.zeros(n_queries, dtype=np.int64)
-    for block in iter_blocks(len(corpus), block_size):
-        dist = pairwise_distances(queries, corpus[block], metric=metric)
-        local = np.argmin(dist, axis=1)
-        local_dist = dist[np.arange(n_queries), local]
-        improved = local_dist < best_dist
-        best_dist[improved] = local_dist[improved]
-        best_idx[improved] = local[improved] + block.start
-    return best_idx, best_dist
+    kernel = make_kernel(metric, queries, dtype=dtype)
+    best_idx, best_cmp = kernel.nearest_among(corpus, block_size=block_size)
+    return best_idx, kernel.to_distance(best_cmp)

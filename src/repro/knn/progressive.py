@@ -10,6 +10,18 @@ current nearest neighbor.
 Feeding batch after batch therefore costs O(batch x test) per step and
 reproduces exactly the error the full brute-force computation would give
 on the union of all batches seen so far.
+
+The distance evaluation itself runs through a
+:class:`repro.knn.kernels.DistanceKernel` bound to the test set at
+construction: the test-side squared norms (euclidean) or normalized rows
+(cosine) are computed exactly once, so the thousands of ``partial_fit``
+calls of a feasibility study pay only for the batch side, and the
+comparison state is kept in *comparable* units (squared euclidean
+distance), deferring the ``sqrt`` to the rare callers that ask for true
+distances.  ``dtype`` selects the compute precision; the default
+``float64`` reproduces the historical results bit-for-bit, while
+``float32`` roughly doubles throughput (see
+``benchmarks/test_progressive_throughput.py``).
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ import numpy as np
 
 from repro.exceptions import DataValidationError
 from repro.knn.base import make_index
-from repro.knn.metrics import pairwise_distances
+from repro.knn.kernels import make_kernel
 
 
 @dataclass(frozen=True)
@@ -44,7 +56,7 @@ class ProgressiveOneNN:
         When True (default), every :meth:`partial_fit` appends a
         :class:`CurvePoint` to :attr:`curve`.
     knn_backend:
-        ``None`` (default) uses the built-in exact pairwise scan per
+        ``None`` (default) uses the built-in bound distance kernel per
         batch.  Otherwise a backend name for
         :func:`repro.knn.base.make_index` ("brute_force", "ivf", ...):
         each batch is indexed by that backend and the per-test nearest
@@ -52,7 +64,11 @@ class ProgressiveOneNN:
         substrate swappable.  A fresh index is built per batch, so an
         approximate backend (quantizer training and all) only pays off
         when batches are large; at typical bandit pull sizes the
-        built-in scan is the fastest option.
+        built-in kernel is the fastest option.
+    dtype:
+        Compute dtype for the distance arithmetic ("float32" or
+        "float64"); ``None`` (default) keeps the strict ``float64``
+        path.
     """
 
     def __init__(
@@ -62,9 +78,11 @@ class ProgressiveOneNN:
         metric: str = "euclidean",
         record_curve: bool = True,
         knn_backend: str | None = None,
+        dtype=None,
     ):
         # np.array (not asarray): the evaluator owns private copies, so
         # relabel_test can never write through to the caller's arrays.
+        # (A float32 kernel also copies on cast; float64 relies on this.)
         test_x = np.array(test_x, dtype=np.float64)
         test_y = np.array(test_y, dtype=np.int64)
         if test_x.ndim != 2:
@@ -78,14 +96,20 @@ class ProgressiveOneNN:
         self.metric = metric
         self.record_curve = record_curve
         self.knn_backend = knn_backend
+        self.dtype = dtype
+        self._kernel = make_kernel(metric, test_x, dtype=dtype)
         if knn_backend is not None:
             # Fail fast on an unknown backend or an unsupported
             # backend/metric pair instead of mid-stream at the first
             # partial_fit.
-            make_index(knn_backend, metric=metric)
-        self._test_x = test_x
+            make_index(knn_backend, metric=metric, dtype=dtype)
+        self._test_x = self._kernel.bound
         self._test_y = test_y
-        self._nn_dist = np.full(len(test_x), np.inf)
+        # Nearest-neighbor state in *comparable* units (squared
+        # distances for euclidean); true distances are derived on demand.
+        self._nn_cmp = np.full(
+            len(test_x), np.inf, dtype=self._kernel.compute_dtype
+        )
         self._nn_label = np.full(len(test_x), -1, dtype=np.int64)
         self._nn_index = np.full(len(test_x), -1, dtype=np.int64)
         self._train_seen = 0
@@ -117,8 +141,8 @@ class ProgressiveOneNN:
 
     @property
     def nearest_distances(self) -> np.ndarray:
-        """Current nearest-neighbor distance per test point (copy)."""
-        return self._nn_dist.copy()
+        """Current nearest-neighbor distance per test point (float64)."""
+        return self._kernel.to_distance(self._nn_cmp)
 
     def partial_fit(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
         """Ingest one training batch and return the updated 1NN test error."""
@@ -131,19 +155,17 @@ class ProgressiveOneNN:
             )
         if len(batch_x) > 0:
             if self.knn_backend is None:
-                dist = pairwise_distances(
-                    self._test_x, batch_x, metric=self.metric
-                )
-                local = np.argmin(dist, axis=1)
-                local_dist = dist[np.arange(len(self._test_x)), local]
+                local, local_cmp = self._kernel.nearest_among(batch_x)
             else:
-                index = make_index(self.knn_backend, metric=self.metric)
+                index = make_index(
+                    self.knn_backend, metric=self.metric, dtype=self.dtype
+                )
                 index.fit(batch_x, batch_y)
                 nn_dist, nn_idx = index.kneighbors(self._test_x, k=1)
                 local = nn_idx[:, 0]
-                local_dist = nn_dist[:, 0]
-            improved = local_dist < self._nn_dist
-            self._nn_dist[improved] = local_dist[improved]
+                local_cmp = self._kernel.from_distance(nn_dist[:, 0])
+            improved = local_cmp < self._nn_cmp
+            self._nn_cmp[improved] = local_cmp[improved]
             self._nn_label[improved] = batch_y[local[improved]]
             self._nn_index[improved] = local[improved] + self._train_seen
             self._train_seen += len(batch_x)
@@ -164,6 +186,10 @@ class ProgressiveOneNN:
         Cleaning a label does not move any point in feature space, so the
         nearest-neighbor structure is unchanged (Section V of the paper);
         only cached labels for affected neighbors must be rewritten.
+        Fully vectorized: affected test points are found with ``np.isin``
+        over the cached neighbor indices and remapped through a sorted
+        lookup (duplicate corrections keep the last occurrence, matching
+        the historical dict-remap semantics).
         """
         indices = np.asarray(indices, dtype=np.int64)
         new_labels = np.asarray(new_labels, dtype=np.int64)
@@ -171,10 +197,19 @@ class ProgressiveOneNN:
             raise DataValidationError("indices and new_labels length mismatch")
         if len(indices) == 0:
             return
-        remap = dict(zip(indices.tolist(), new_labels.tolist()))
-        for test_i, nn_idx in enumerate(self._nn_index):
-            if nn_idx in remap:
-                self._nn_label[test_i] = remap[nn_idx]
+        order = np.argsort(indices, kind="stable")
+        sorted_idx = indices[order]
+        sorted_labels = new_labels[order]
+        affected = np.isin(self._nn_index, sorted_idx)
+        if not affected.any():
+            return
+        # side="right" - 1: among duplicate corrections of one train
+        # index, the last one given wins (dict-remap behavior).
+        positions = (
+            np.searchsorted(sorted_idx, self._nn_index[affected], side="right")
+            - 1
+        )
+        self._nn_label[affected] = sorted_labels[positions]
 
     def relabel_test(self, indices: np.ndarray, new_labels: np.ndarray) -> None:
         """Apply test-label corrections (the ground truth used for the error)."""

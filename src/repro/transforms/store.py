@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DataValidationError
+from repro.knn.kernels import resolve_dtype
 
 #: Default byte budget for cached embeddings (256 MiB).
 DEFAULT_CACHE_BYTES = 256 * 2**20
@@ -84,12 +85,23 @@ class EmbeddingStore:
         the whole block once — rows a progressive consumer would need
         shortly anyway — and serve every later overlapping request from
         cache regardless of its exact boundaries.
+    dtype:
+        Storage dtype for cached blocks ("float32"/"float64"; ``None``
+        keeps float64).  Blocks are held — and returned — in this
+        dtype, so a float32 store halves the bytes per cached embedding
+        and doubles the effective cache capacity under the same
+        ``max_bytes`` budget.  Byte accounting always follows the
+        actual block dtype (``nbytes``), so the LRU budget is honored
+        either way.  Source matrices are still digested at float64, so
+        the content-addressed keys are independent of the storage
+        dtype.
     """
 
     def __init__(
         self,
         max_bytes: int = DEFAULT_CACHE_BYTES,
         block_rows: int = DEFAULT_BLOCK_ROWS,
+        dtype=None,
     ):
         if max_bytes < 1:
             raise DataValidationError(
@@ -101,6 +113,8 @@ class EmbeddingStore:
             )
         self.max_bytes = int(max_bytes)
         self.block_rows = int(block_rows)
+        self.dtype = dtype
+        self._block_dtype = resolve_dtype(dtype)
         self._lock = threading.RLock()
         # (transform token, block digest) -> embedded block (read-only).
         self._blocks: "OrderedDict[tuple[str, bytes], np.ndarray]" = OrderedDict()
@@ -148,7 +162,7 @@ class EmbeddingStore:
                 f"{len(source)} rows"
             )
         if stop == start:
-            return np.empty((0, transform.output_dim))
+            return np.empty((0, transform.output_dim), dtype=self._block_dtype)
         token = self._transform_token(transform)
         block_size = self.block_rows
         first = start // block_size
@@ -172,7 +186,7 @@ class EmbeddingStore:
             lo = run_start * block_size
             hi = min(run_stop * block_size, len(source))
             embedded = np.asarray(
-                transform.transform(source[lo:hi]), dtype=np.float64
+                transform.transform(source[lo:hi]), dtype=self._block_dtype
             )
             for block in range(run_start, run_stop):
                 piece = np.ascontiguousarray(
@@ -254,10 +268,16 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
 
     def __getstate__(self) -> dict:
-        return {"max_bytes": self.max_bytes, "block_rows": self.block_rows}
+        return {
+            "max_bytes": self.max_bytes,
+            "block_rows": self.block_rows,
+            "dtype": self.dtype,
+        }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(state["max_bytes"], state["block_rows"])
+        self.__init__(
+            state["max_bytes"], state["block_rows"], state.get("dtype")
+        )
 
     # ------------------------------------------------------------------
     # Internals
