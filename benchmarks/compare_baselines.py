@@ -16,6 +16,10 @@ exit code is 0 unless ``--strict`` is passed, in which case flagged
 metrics exit 1 (useful when baseline and current run on the same
 hardware).
 
+After an intentional perf change, ``--update`` re-runs the tracked
+benchmark modules so every baseline table under ``benchmarks/results/``
+is rewritten in place (then committed), instead of hand-editing tables.
+
 The parser understands the fixed-width tables produced by
 ``repro.reporting.tables.render_table``: column boundaries are taken
 from the header row, rows are keyed by their leading columns.
@@ -24,6 +28,7 @@ from the header row, rows are keyed by their leading columns.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import subprocess
 import sys
@@ -34,7 +39,15 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 TRACKED = (
     ("knn_hot_paths.txt", ("k", "dtype"), ("brute q/s", "ivf q/s")),
     ("progressive_throughput.txt", ("pull", "path"), ("samples/s",)),
+    ("pq_scaling.txt", ("index", "config"), ("queries/s",)),
 )
+
+#: Benchmark module that regenerates each tracked result file.
+SOURCES = {
+    "knn_hot_paths.txt": "benchmarks/test_knn_hot_paths.py",
+    "progressive_throughput.txt": "benchmarks/test_progressive_throughput.py",
+    "pq_scaling.txt": "benchmarks/test_pq_scaling.py",
+}
 
 
 def _column_spans(header: str) -> list[tuple[str, int, int]]:
@@ -106,6 +119,43 @@ def _git_show(ref: str, path: str) -> str | None:
     return result.stdout if result.returncode == 0 else None
 
 
+def update_baselines(runner=None) -> int:
+    """Regenerate every tracked baseline file by re-running its benchmark.
+
+    After an intentional perf change this replaces the manual
+    edit-the-table dance: the tracked benchmark modules are re-run (one
+    pytest invocation), each rewrites its table under
+    ``benchmarks/results/``, and committing those files promotes the
+    fresh numbers to the new baseline.  ``runner`` is injectable for
+    tests; it defaults to ``subprocess.call`` on this interpreter.
+    """
+    root = pathlib.Path(__file__).parent.parent
+    modules = sorted(set(SOURCES[filename] for filename, *_ in TRACKED))
+    command = [
+        sys.executable, "-m", "pytest", "-q", "-m", "slow", *modules,
+    ]
+    print("regenerating tracked baselines via:", " ".join(command))
+    if runner is None:
+        def runner(cmd):
+            env = dict(os.environ)
+            src = str(root / "src")
+            env["PYTHONPATH"] = (
+                src + os.pathsep + env["PYTHONPATH"]
+                if env.get("PYTHONPATH")
+                else src
+            )
+            return subprocess.call(cmd, cwd=root, env=env)
+
+    status = runner(command)
+    if status != 0:
+        print(f"benchmark run failed (exit {status}); baselines not updated")
+        return status
+    for filename, *_ in TRACKED:
+        print(f"updated benchmarks/results/{filename}")
+    print("commit the rewritten files to promote them to the new baseline")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--git-ref", default="HEAD")
@@ -118,7 +168,17 @@ def main(argv=None) -> int:
         help="exit 1 on flagged metrics (baseline and current must come "
         "from the same hardware for this to be meaningful)",
     )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-run the tracked benchmarks to rewrite the baseline "
+        "files in benchmarks/results/ (commit them afterwards), "
+        "then print the report against --git-ref",
+    )
     args = parser.parse_args(argv)
+    if args.update:
+        status = update_baselines()
+        if status != 0:
+            return status
     regressions = []
     print(f"benchmark regression report vs {args.git_ref}")
     for filename, key_columns, value_columns in TRACKED:

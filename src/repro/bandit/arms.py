@@ -42,7 +42,12 @@ class TransformationArm:
     knn_backend:
         Search backend for the 1NN evaluator, resolved through
         :func:`repro.knn.base.make_index`; ``None`` keeps the built-in
-        exact pairwise scan.
+        exact pairwise scan.  Append-capable ANN backends ("ivf_pq")
+        persist across pulls — each pull's chunk is encoded into the
+        compressed index instead of rebuilding one.
+    knn_backend_options:
+        Extra backend constructor kwargs (e.g. ``pq_m``, ``pq_nbits``,
+        ``nprobe``, ``rerank`` for "ivf_pq").
     store:
         Optional shared :class:`EmbeddingStore`; when given, every chunk
         embedding is memoized, so sibling runs (another strategy, a
@@ -70,6 +75,7 @@ class TransformationArm:
         test_y: np.ndarray,
         metric: str = "euclidean",
         knn_backend: str | None = None,
+        knn_backend_options: dict | None = None,
         store: EmbeddingStore | None = None,
         dtype=None,
         seed: SeedLike = None,
@@ -94,6 +100,7 @@ class TransformationArm:
             test_y,
             metric=metric,
             knn_backend=knn_backend,
+            knn_backend_options=knn_backend_options,
             dtype=dtype,
         )
         self.sim_cost = transform.inference_cost(len(test_y))
@@ -213,6 +220,7 @@ def build_arms(
     metric: str = "euclidean",
     rng: SeedLike = None,
     knn_backend: str | None = None,
+    knn_backend_options: dict | None = None,
     store: EmbeddingStore | None = None,
     dtype=None,
 ) -> list[TransformationArm]:
@@ -239,6 +247,7 @@ def build_arms(
                 dataset.test_y,
                 metric=metric,
                 knn_backend=knn_backend,
+                knn_backend_options=knn_backend_options,
                 store=store,
                 dtype=dtype,
             )

@@ -29,7 +29,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, UnknownBackendError
 from repro.knn.kernels import DistanceKernel, make_kernel
 
 
@@ -39,6 +39,12 @@ class KNNIndex(ABC):
     Concrete backends are registered under a string name and built via
     :func:`make_index`; see the module docstring for the contract.
     """
+
+    #: True for append-only ANN backends (``partial_fit`` + sublinear
+    #: search) that :class:`~repro.knn.progressive.ProgressiveOneNN`
+    #: should keep alive across training batches instead of rebuilding
+    #: per batch.
+    supports_progressive_append = False
 
     @property
     @abstractmethod
@@ -153,9 +159,14 @@ def register_backend(name: str):
     return decorator
 
 
+#: Backends whose quantizer structure is euclidean-only; requesting any
+#: other metric raises instead of silently degrading.
+_EUCLIDEAN_ONLY = frozenset({"ivf", "ivf_pq"})
+
+
 def _load_default_backends() -> None:
     # Imported lazily so base <-> backend modules never cycle.
-    from repro.knn import brute_force, incremental, ivf  # noqa: F401
+    from repro.knn import brute_force, incremental, ivf, pq  # noqa: F401
 
 
 def available_backends() -> tuple[str, ...]:
@@ -173,14 +184,17 @@ def make_index(
     ----------
     backend:
         One of :func:`available_backends` ("brute_force" — alias
-        "exact" —, "ivf", "incremental").
+        "exact" —, "ivf", "ivf_pq", "incremental").  An unregistered
+        name raises :class:`~repro.exceptions.UnknownBackendError`
+        naming the registered backends.
     metric:
-        Distance metric.  The IVF backend is euclidean-only (its
-        quantizer is); requesting cosine raises
+        Distance metric.  The quantizer-based backends ("ivf",
+        "ivf_pq") are euclidean-only; requesting cosine raises
         :class:`DataValidationError` instead of silently degrading.
     kwargs:
         Forwarded to the backend constructor (e.g. ``block_size`` for
-        the exact backends, ``nlist``/``nprobe``/``seed`` for IVF, and
+        the exact backends, ``nlist``/``nprobe``/``seed`` for IVF,
+        additionally ``pq_m``/``pq_nbits``/``rerank`` for IVF-PQ, and
         ``dtype`` — "float32"/"float64" compute precision — for all of
         them).
     """
@@ -188,14 +202,15 @@ def make_index(
     name = _BACKEND_ALIASES.get(backend, backend)
     cls = _BACKENDS.get(name)
     if cls is None:
-        raise DataValidationError(
+        raise UnknownBackendError(
             f"unknown kNN backend {backend!r}; "
-            f"expected one of {available_backends()}"
+            f"available backends: {available_backends()}"
         )
-    if name == "ivf":
+    if name in _EUCLIDEAN_ONLY:
         if metric != "euclidean":
             raise DataValidationError(
-                f"ivf backend supports only the euclidean metric, got {metric!r}"
+                f"{name} backend supports only the euclidean metric, "
+                f"got {metric!r}"
             )
         return cls(**kwargs)
     return cls(metric=metric, **kwargs)

@@ -58,13 +58,19 @@ class ProgressiveOneNN:
     knn_backend:
         ``None`` (default) uses the built-in bound distance kernel per
         batch.  Otherwise a backend name for
-        :func:`repro.knn.base.make_index` ("brute_force", "ivf", ...):
-        each batch is indexed by that backend and the per-test nearest
-        neighbor comes from a 1NN query against it, making the search
-        substrate swappable.  A fresh index is built per batch, so an
-        approximate backend (quantizer training and all) only pays off
-        when batches are large; at typical bandit pull sizes the
-        built-in kernel is the fastest option.
+        :func:`repro.knn.base.make_index` ("brute_force", "ivf",
+        "ivf_pq", ...): the per-test nearest neighbor comes from 1NN
+        queries against that backend, making the search substrate
+        swappable.  Backends advertising ``supports_progressive_append``
+        (the compressed "ivf_pq" index) are built **once** and fed each
+        batch via ``partial_fit`` — encode-on-append into the coarse
+        lists, codebooks refreshed by the index's own policy — so the
+        corpus stays compressed across the whole stream; other backends
+        are rebuilt per batch (exact per-batch search, which at typical
+        bandit pull sizes is the fastest option).
+    knn_backend_options:
+        Extra constructor kwargs for the backend (e.g. ``pq_m``,
+        ``pq_nbits``, ``nprobe``, ``rerank`` for "ivf_pq").
     dtype:
         Compute dtype for the distance arithmetic ("float32" or
         "float64"); ``None`` (default) keeps the strict ``float64``
@@ -78,6 +84,7 @@ class ProgressiveOneNN:
         metric: str = "euclidean",
         record_curve: bool = True,
         knn_backend: str | None = None,
+        knn_backend_options: dict | None = None,
         dtype=None,
     ):
         # np.array (not asarray): the evaluator owns private copies, so
@@ -96,13 +103,25 @@ class ProgressiveOneNN:
         self.metric = metric
         self.record_curve = record_curve
         self.knn_backend = knn_backend
+        self.knn_backend_options = dict(knn_backend_options or {})
         self.dtype = dtype
         self._kernel = make_kernel(metric, test_x, dtype=dtype)
+        self._index = None
+        self._index_y: np.ndarray | None = None
         if knn_backend is not None:
-            # Fail fast on an unknown backend or an unsupported
-            # backend/metric pair instead of mid-stream at the first
-            # partial_fit.
-            make_index(knn_backend, metric=metric, dtype=dtype)
+            # Built eagerly so an unknown backend, an unsupported
+            # backend/metric pair or a bad option fails here, not
+            # mid-stream at the first partial_fit.  Append-capable ANN
+            # backends keep this one instance for the whole stream.
+            index = make_index(
+                knn_backend,
+                metric=metric,
+                dtype=dtype,
+                **self.knn_backend_options,
+            )
+            if index.supports_progressive_append:
+                self._index = index
+                self._index_y = np.empty(0, dtype=np.int64)
         self._test_x = self._kernel.bound
         self._test_y = test_y
         # Nearest-neighbor state in *comparable* units (squared
@@ -156,18 +175,49 @@ class ProgressiveOneNN:
         if len(batch_x) > 0:
             if self.knn_backend is None:
                 local, local_cmp = self._kernel.nearest_among(batch_x)
+                labels = batch_y[local]
+                global_idx = local + self._train_seen
+            elif self._index is not None:
+                # Persistent ANN backend: append the batch (encode-on-
+                # append for ivf_pq) and re-query the whole compressed
+                # corpus — sublinear in the corpus, and indices come
+                # back in global train positions already.
+                if self._index.num_fitted == 0:
+                    self._index.fit(batch_x, batch_y)
+                else:
+                    self._index.partial_fit(batch_x, batch_y)
+                self._index_y = np.concatenate((self._index_y, batch_y))
+                nn_dist, nn_idx = self._index.kneighbors(self._test_x, k=1)
+                global_idx = nn_idx[:, 0]
+                local_cmp = self._kernel.from_distance(nn_dist[:, 0])
+                labels = self._index_y[global_idx]
             else:
                 index = make_index(
-                    self.knn_backend, metric=self.metric, dtype=self.dtype
+                    self.knn_backend,
+                    metric=self.metric,
+                    dtype=self.dtype,
+                    **self.knn_backend_options,
                 )
                 index.fit(batch_x, batch_y)
                 nn_dist, nn_idx = index.kneighbors(self._test_x, k=1)
                 local = nn_idx[:, 0]
                 local_cmp = self._kernel.from_distance(nn_dist[:, 0])
-            improved = local_cmp < self._nn_cmp
+                labels = batch_y[local]
+                global_idx = local + self._train_seen
+            if self._index is not None and not getattr(
+                self._index, "exact_distances", True
+            ):
+                # Estimated distances (ivf_pq with rerank=0) are not
+                # comparable across codebook refreshes — min-merging
+                # against a stale underestimate would pin a neighbor
+                # the index no longer returns.  Each persistent-path
+                # query is already corpus-wide, so replace wholesale.
+                improved = np.ones(len(local_cmp), dtype=bool)
+            else:
+                improved = local_cmp < self._nn_cmp
             self._nn_cmp[improved] = local_cmp[improved]
-            self._nn_label[improved] = batch_y[local[improved]]
-            self._nn_index[improved] = local[improved] + self._train_seen
+            self._nn_label[improved] = labels[improved]
+            self._nn_index[improved] = global_idx[improved]
             self._train_seen += len(batch_x)
         err = self.error()
         if self.record_curve:
@@ -197,6 +247,15 @@ class ProgressiveOneNN:
             raise DataValidationError("indices and new_labels length mismatch")
         if len(indices) == 0:
             return
+        if self._index_y is not None:
+            # The persistent ANN path re-queries the whole corpus on
+            # every batch and labels hits from _index_y, so corrections
+            # must land there too or a later batch would resurrect the
+            # stale label.  In-range writes in given order: among
+            # duplicate corrections the last one wins, matching the
+            # remap below.
+            in_range = indices < len(self._index_y)
+            self._index_y[indices[in_range]] = new_labels[in_range]
         order = np.argsort(indices, kind="stable")
         sorted_idx = indices[order]
         sorted_labels = new_labels[order]

@@ -25,6 +25,14 @@ Design
 - **Process-friendly.**  Pickling a store (the ``process`` backend ships
   arms to workers) transfers only its configuration; workers start with
   an empty cache and the parent's cache is never clobbered.
+- **Dtype-aware accounting for compressed blocks.**  Besides embedding
+  blocks, arbitrary auxiliary arrays — such as the uint8 PQ code
+  blocks of the ``"ivf_pq"`` search tier — can be parked under the
+  same byte budget via :meth:`EmbeddingStore.put_block`; they are
+  accounted at their true ``nbytes`` (1 B/element for uint8 codes), so
+  a compressed corpus fits a cache budget its raw float blocks would
+  blow through (``benchmarks/test_pq_scaling.py`` demonstrates the
+  accounting; the index itself keeps its codes as primary storage).
 
 The store assumes a transform's fitted state is frozen once it has been
 used for embedding — re-fitting a transform on different data changes its
@@ -217,6 +225,45 @@ class EmbeddingStore:
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts, axis=0)
+
+    def put_block(self, owner: str, key, array: np.ndarray) -> None:
+        """Park an auxiliary array under the store's byte budget.
+
+        Lets a caller account arbitrary-dtype blocks — e.g. the uint8
+        PQ code matrix of an :class:`repro.knn.pq.IVFPQIndex` (see
+        ``benchmarks/test_pq_scaling.py``) — in the same LRU budget as
+        the float embedding blocks: accounting is dtype-aware
+        (``nbytes`` of the array as given — one byte per element for
+        uint8 codes, four for float32 embeddings), and the array is
+        stored **as-is**, never cast to the store's embedding dtype.
+        ``owner`` namespaces the keys (e.g. one owner per index) so
+        they can never collide with transform tokens; blocks
+        participate in LRU eviction like any other, so owners must
+        treat the store as a cache, not as the primary copy.
+        """
+        array = np.asarray(array)
+        frozen = array.copy()
+        frozen.setflags(write=False)
+        with self._lock:
+            cache_key = (f"\x00aux:{owner}", key)
+            previous = self._blocks.pop(cache_key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._blocks[cache_key] = frozen
+            self._bytes += frozen.nbytes
+            self._evict_over_budget()
+
+    def get_block(self, owner: str, key) -> np.ndarray | None:
+        """Fetch an auxiliary array stored via :meth:`put_block` (or None)."""
+        with self._lock:
+            cache_key = (f"\x00aux:{owner}", key)
+            block = self._blocks.get(cache_key)
+            if block is None:
+                self._misses += 1
+                return None
+            self._blocks.move_to_end(cache_key)
+            self._hits += 1
+            return block
 
     def invalidate(self, transform) -> int:
         """Drop every cached block of ``transform`` (after a re-fit).

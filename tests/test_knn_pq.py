@@ -1,0 +1,342 @@
+"""Unit + property tests for product quantization and the IVF-PQ backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataValidationError, UnknownBackendError
+from repro.knn.base import available_backends, make_index
+from repro.knn.brute_force import BruteForceKNN
+from repro.knn.kernels import make_kernel
+from repro.knn.pq import IVFPQIndex, ProductQuantizer
+from repro.knn.progressive import ProgressiveOneNN
+
+pytestmark = pytest.mark.ann
+
+
+@pytest.fixture()
+def blobs(rng):
+    centers = rng.normal(scale=8.0, size=(10, 16))
+    assignment = rng.integers(0, 10, size=900)
+    x = centers[assignment] + rng.normal(size=(900, 16))
+    y = assignment % 4
+    queries = centers[rng.integers(0, 10, size=120)] + rng.normal(
+        size=(120, 16)
+    )
+    return x, y, queries
+
+
+class TestProductQuantizer:
+    def test_codes_shape_and_dtype(self, blobs):
+        x, *_ = blobs
+        pq = ProductQuantizer(m=4, nbits=6, seed=0).fit(x)
+        codes = pq.encode(x)
+        assert codes.shape == (len(x), 4)
+        assert codes.dtype == np.uint8
+        assert codes.max() < pq.ksub
+
+    def test_decode_reduces_quantization_error_with_nbits(self, blobs):
+        x, *_ = blobs
+        errors = []
+        for nbits in (2, 4, 6):
+            pq = ProductQuantizer(m=4, nbits=nbits, seed=0).fit(x)
+            recon = pq.decode(pq.encode(x))
+            errors.append(float(np.mean((x - recon) ** 2)))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_adc_matches_decoded_distances(self, blobs):
+        x, _, queries = blobs
+        pq = ProductQuantizer(m=4, nbits=6, seed=0).fit(x)
+        codes = pq.encode(x)
+        tables = pq.lookup_tables(queries[:7])
+        assert tables.shape == (7, pq.m, pq.ksub)
+        adc = pq.adc_distances(tables, codes)
+        recon = pq.decode(codes)
+        truth = (
+            (queries[:7, None, :].astype(np.float64) - recon[None]) ** 2
+        ).sum(axis=2)
+        np.testing.assert_allclose(adc, truth, rtol=1e-4, atol=1e-4)
+
+    def test_m_clamped_to_divisor(self, rng):
+        x = rng.normal(size=(50, 15))  # 15 not divisible by 4
+        pq = ProductQuantizer(m=4, nbits=4, seed=0).fit(x)
+        assert pq.m == 3  # largest divisor of 15 <= 4
+        assert pq.encode(x).shape == (50, 3)
+
+    def test_ksub_clamped_to_corpus(self, rng):
+        x = rng.normal(size=(9, 8))
+        pq = ProductQuantizer(m=2, nbits=8, seed=0).fit(x)
+        assert pq.ksub == 9
+
+    def test_validation(self, rng):
+        with pytest.raises(DataValidationError):
+            ProductQuantizer(m=0)
+        with pytest.raises(DataValidationError):
+            ProductQuantizer(nbits=9)
+        with pytest.raises(DataValidationError):
+            ProductQuantizer().encode(rng.normal(size=(3, 8)))
+        pq = ProductQuantizer(m=2, nbits=2, seed=0).fit(
+            rng.normal(size=(20, 8))
+        )
+        with pytest.raises(DataValidationError):
+            pq.encode(rng.normal(size=(3, 6)))
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(200, 8))
+        a = ProductQuantizer(m=2, nbits=4, seed=3).fit(x)
+        b = ProductQuantizer(m=2, nbits=4, seed=3).fit(x)
+        np.testing.assert_array_equal(a.codebooks, b.codebooks)
+        np.testing.assert_array_equal(a.encode(x), b.encode(x))
+
+
+class TestIVFPQIndex:
+    def test_high_recall_with_rerank(self, blobs):
+        x, y, queries = blobs
+        _, exact_idx = BruteForceKNN().fit(x, y).kneighbors(queries, k=1)
+        index = IVFPQIndex(
+            nlist=8, nprobe=8, pq_m=4, pq_nbits=8, rerank=32, seed=0
+        ).fit(x, y)
+        assert index.recall_against_exact(queries, exact_idx[:, 0]) >= 0.95
+
+    def test_rerank_distances_bit_identical_to_kernel(self, blobs):
+        """The re-rank stage reports DistanceKernel-exact distances."""
+        x, y, queries = blobs
+        for dtype in (None, "float32", "float64"):
+            index = IVFPQIndex(
+                nlist=8, nprobe=4, pq_m=4, rerank=16, seed=0, dtype=dtype
+            ).fit(x, y)
+            dist, idx = index.kneighbors(queries, k=3)
+            kernel = make_kernel("euclidean", x, dtype=dtype)
+            expected = kernel.pair_distances(queries, idx)
+            np.testing.assert_array_equal(dist, expected)
+
+    def test_rerank_zero_reports_adc_estimates(self, blobs):
+        x, y, queries = blobs
+        index = IVFPQIndex(
+            nlist=4, nprobe=4, pq_m=4, rerank=0, seed=0
+        ).fit(x, y)
+        dist, idx = index.kneighbors(queries, k=1)
+        assert dist.shape == (len(queries), 1)
+        assert np.all(dist >= 0) and np.all(idx >= 0)
+
+    def test_partial_fit_appends_and_refreshes(self, blobs):
+        x, y, queries = blobs
+        whole = IVFPQIndex(
+            nlist=8, nprobe=8, pq_m=4, rerank=16, seed=0
+        ).fit(x, y)
+        grown = IVFPQIndex(
+            nlist=8, nprobe=8, pq_m=4, rerank=16, seed=0,
+            refresh_factor=2.0,
+        ).fit(x[:300], y[:300])
+        for start in range(300, len(x), 200):
+            grown.partial_fit(x[start : start + 200], y[start : start + 200])
+        assert grown.num_fitted == len(x)
+        assert grown.num_refreshes >= 1
+        _, exact_idx = BruteForceKNN().fit(x, y).kneighbors(queries, k=1)
+        assert grown.recall_against_exact(queries, exact_idx[:, 0]) >= 0.9
+        # Labels and raw rows survive the appends in order.
+        np.testing.assert_array_equal(grown._y, y)
+        np.testing.assert_allclose(grown._x, x)
+        del whole
+
+    def test_refresh_disabled(self, blobs):
+        x, y, _ = blobs
+        index = IVFPQIndex(
+            nlist=4, nprobe=2, pq_m=4, seed=0, refresh_factor=None
+        ).fit(x[:100], y[:100])
+        index.partial_fit(x[100:800], y[100:800])
+        assert index.num_refreshes == 0
+        assert index.num_fitted == 800
+
+    def test_predict_and_error(self, blobs):
+        x, y, queries = blobs
+        index = IVFPQIndex(
+            nlist=8, nprobe=8, pq_m=4, rerank=32, seed=0
+        ).fit(x, y)
+        exact = BruteForceKNN().fit(x, y)
+        q_labels = exact.predict(queries, k=1)
+        assert np.mean(index.predict(queries, k=1) == q_labels) >= 0.95
+        assert 0.0 <= index.error(queries, q_labels, k=1) <= 0.05
+
+    def test_memory_stats_report_compression(self, blobs):
+        x, y, _ = blobs
+        index = IVFPQIndex(nlist=4, pq_m=4, seed=0).fit(x, y)
+        stats = index.memory_stats()
+        assert stats["code_bytes"] == len(x) * 4
+        assert stats["compression_ratio"] > 1.0
+        assert stats["compressed_bytes"] < stats["raw_bytes"]
+
+    def test_pq_dim_projection(self, rng):
+        # Low-rank data: a pq_dim cut above the true rank keeps recall.
+        lift = rng.normal(size=(4, 64))
+        z = rng.normal(scale=4.0, size=(600, 4))
+        x = (z @ lift + 0.01 * rng.normal(size=(600, 64)))
+        y = rng.integers(0, 3, size=600)
+        queries = (
+            rng.normal(scale=4.0, size=(80, 4)) @ lift
+            + 0.01 * rng.normal(size=(80, 64))
+        )
+        _, exact_idx = BruteForceKNN().fit(x, y).kneighbors(queries, k=1)
+        index = IVFPQIndex(
+            nlist=4, nprobe=4, pq_m=4, pq_dim=8, rerank=16, seed=0
+        ).fit(x, y)
+        assert index._projection.shape == (64, 8)
+        assert index.recall_against_exact(queries, exact_idx[:, 0]) >= 0.95
+
+    def test_validation(self, rng):
+        with pytest.raises(DataValidationError):
+            IVFPQIndex(nlist=0)
+        with pytest.raises(DataValidationError):
+            IVFPQIndex(rerank=-1)
+        with pytest.raises(DataValidationError):
+            IVFPQIndex(pq_dim=0)
+        index = IVFPQIndex(nlist=2, pq_m=2, seed=0)
+        with pytest.raises(DataValidationError):
+            index.kneighbors(rng.normal(size=(3, 8)))
+        index.fit(rng.normal(size=(20, 8)), np.zeros(20, dtype=int))
+        with pytest.raises(DataValidationError):
+            index.kneighbors(rng.normal(size=(3, 8)), k=21)
+        with pytest.raises(DataValidationError):
+            index.partial_fit(rng.normal(size=(3, 6)), np.zeros(3, dtype=int))
+
+
+class TestBackendRegistry:
+    def test_ivf_pq_registered(self):
+        assert "ivf_pq" in available_backends()
+        index = make_index("ivf_pq", pq_m=2, nlist=2, seed=0)
+        assert isinstance(index, IVFPQIndex)
+
+    def test_unknown_backend_error_names_backends(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            make_index("annoy")
+        message = str(excinfo.value)
+        assert "annoy" in message
+        for name in available_backends():
+            assert name in message
+        # Back-compat: still catchable as a validation error.
+        assert isinstance(excinfo.value, DataValidationError)
+
+    def test_ivf_pq_is_euclidean_only(self):
+        with pytest.raises(DataValidationError, match="euclidean"):
+            make_index("ivf_pq", metric="cosine")
+
+
+class TestProgressiveIntegration:
+    def test_persistent_append_matches_exact_curve(self, blobs):
+        x, y, queries = blobs
+        test_y = (np.arange(len(queries)) % 4).astype(np.int64)
+        exact = ProgressiveOneNN(queries, test_y)
+        approx = ProgressiveOneNN(
+            queries, test_y, knn_backend="ivf_pq",
+            knn_backend_options=dict(
+                nlist=8, nprobe=8, pq_m=4, rerank=32, seed=0
+            ),
+        )
+        assert approx._index is not None  # persistent, not per-batch
+        gaps = []
+        for start in range(0, len(x), 150):
+            e1 = exact.partial_fit(x[start : start + 150], y[start : start + 150])
+            e2 = approx.partial_fit(x[start : start + 150], y[start : start + 150])
+            gaps.append(abs(e1 - e2))
+        assert approx._index.num_fitted == len(x)
+        assert max(gaps) <= 0.05
+        assert abs(exact.error() - approx.error()) <= 0.02
+
+    def test_relabel_train_survives_later_batches(self, blobs):
+        """Corrections must not be resurrected by full-corpus re-queries."""
+        x, y, queries = blobs
+        test_y = (np.arange(len(queries)) % 4).astype(np.int64)
+        ev = ProgressiveOneNN(
+            queries, test_y, knn_backend="ivf_pq",
+            knn_backend_options=dict(
+                nlist=8, nprobe=8, pq_m=4, rerank=32, seed=0
+            ),
+        )
+        half = len(x) // 2
+        ev.partial_fit(x[:half], y[:half])
+        # Correct every first-half train label to class 3.
+        corrections = np.arange(half)
+        ev.relabel_train(corrections, np.full(half, 3))
+        ev.partial_fit(x[half:], y[half:])
+        # Test points whose neighbor is still in the first half must
+        # see the corrected label, not the stale one.
+        first_half = ev.nearest_indices < half
+        assert first_half.any()
+        assert np.all(ev.nearest_labels[first_half] == 3)
+
+    def test_rerank_zero_state_tracks_current_index(self, blobs):
+        """With ADC-estimate distances the state is replaced, not
+        min-merged: after refreshes it must equal the index's current
+        corpus-wide answer (no stale pinned neighbors)."""
+        x, y, queries = blobs
+        test_y = (np.arange(len(queries)) % 4).astype(np.int64)
+        ev = ProgressiveOneNN(
+            queries, test_y, knn_backend="ivf_pq",
+            knn_backend_options=dict(
+                nlist=8, nprobe=8, pq_m=4, rerank=0, seed=0,
+                refresh_factor=2.0,
+            ),
+        )
+        for start in range(0, len(x), 120):
+            ev.partial_fit(x[start : start + 120], y[start : start + 120])
+        assert ev._index.num_refreshes >= 1
+        _, idx = ev._index.kneighbors(queries, k=1)
+        np.testing.assert_array_equal(ev.nearest_indices, idx[:, 0])
+
+    def test_unknown_options_fail_fast(self, blobs):
+        x, y, queries = blobs
+        with pytest.raises(TypeError):
+            ProgressiveOneNN(
+                queries, np.zeros(len(queries), dtype=int),
+                knn_backend="ivf_pq",
+                knn_backend_options={"bogus_knob": 3},
+            )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    dtype=st.sampled_from(["float32", "float64"]),
+    nprobe=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_property_recall_vs_exact_across_dtypes(dtype, nprobe, seed):
+    """IVF-PQ with full probing + rerank recovers >= 0.95 of exact 1NN."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=8.0, size=(8, 12))
+    assignment = rng.integers(0, 8, size=500)
+    x = centers[assignment] + rng.normal(size=(500, 12))
+    y = assignment % 3
+    queries = centers[rng.integers(0, 8, size=60)] + rng.normal(size=(60, 12))
+    _, exact_idx = BruteForceKNN(dtype=dtype).fit(x, y).kneighbors(
+        queries, k=1
+    )
+    index = IVFPQIndex(
+        nlist=8, nprobe=nprobe, pq_m=4, pq_nbits=8, rerank=32, seed=seed,
+        dtype=dtype,
+    ).fit(x, y)
+    assert index.recall_against_exact(queries, exact_idx[:, 0]) >= 0.95
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    dtype=st.sampled_from(["float32", "float64"]),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_property_rerank_bit_identical_to_kernel(dtype, k, seed):
+    """Surviving candidates carry kernel-exact distances, any dtype/k."""
+    rng = np.random.default_rng(100 + seed)
+    x = rng.normal(size=(300, 10))
+    y = rng.integers(0, 3, size=300)
+    queries = rng.normal(size=(40, 10))
+    index = IVFPQIndex(
+        nlist=4, nprobe=2, pq_m=5, rerank=16, seed=seed, dtype=dtype
+    ).fit(x, y)
+    dist, idx = index.kneighbors(queries, k=k)
+    kernel = make_kernel("euclidean", x, dtype=dtype)
+    np.testing.assert_array_equal(dist, kernel.pair_distances(queries, idx))
+    # And the distances are correct (not only internally consistent).
+    brute = ((queries[:, None, :] - x[None]) ** 2).sum(axis=2)
+    chosen = np.take_along_axis(brute, idx, axis=1)
+    np.testing.assert_allclose(dist**2, chosen, rtol=1e-4, atol=1e-5)

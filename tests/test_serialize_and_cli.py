@@ -161,3 +161,72 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "cleaning loop" in out
         assert "expensive run(s)" in out
+
+
+@pytest.mark.ann
+class TestCLIAnnBackend:
+    def test_study_with_ivf_pq_backend(self, capsys):
+        code = main([
+            "study", "cifar10", "--target", "0.9",
+            "--scale", "0.005", "--max-embeddings", "3",
+            "--knn-backend", "ivf_pq", "--pq-m", "4", "--pq-nbits", "6",
+            "--nprobe", "4", "--rerank", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Feasibility study" in out
+
+    def test_ann_study_tracks_exact_estimate(self, capsys):
+        """The compressed backend stays within the convergence tolerance."""
+        args = [
+            "study", "cifar10", "--target", "0.9", "--json",
+            "--scale", "0.005", "--max-embeddings", "3",
+        ]
+        assert main(args) == 0
+        exact = json.loads(capsys.readouterr().out)
+        assert main(
+            args + ["--knn-backend", "ivf_pq", "--rerank", "32"]
+        ) == 0
+        approx = json.loads(capsys.readouterr().out)
+        assert abs(exact["ber_estimate"] - approx["ber_estimate"]) <= 0.02
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["study", "cifar10", "--target", "0.9",
+                 "--knn-backend", "bogus"]
+            )
+
+
+class TestCompareBaselinesUpdate:
+    def test_update_runs_tracked_benchmarks(self, capsys):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "compare_baselines",
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "compare_baselines.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        calls = []
+        assert module.update_baselines(
+            runner=lambda cmd: calls.append(cmd) or 0
+        ) == 0
+        (command,) = calls
+        assert "pytest" in command
+        for filename, *_ in module.TRACKED:
+            assert module.SOURCES[filename] in command
+        out = capsys.readouterr().out
+        assert "pq_scaling.txt" in out
+        # A failing benchmark run propagates its exit code.
+        assert module.update_baselines(runner=lambda cmd: 3) == 3
+
+    def test_stray_ann_knob_is_a_clean_cli_error(self, capsys):
+        code = main([
+            "study", "cifar10", "--target", "0.9",
+            "--scale", "0.005", "--max-embeddings", "3", "--pq-m", "4",
+        ])
+        assert code == 2
+        assert "no effect" in capsys.readouterr().err
