@@ -5,8 +5,11 @@ Usage (after ``pip install -e .``)::
     python -m repro datasets
     python -m repro catalog cifar10
     python -m repro study cifar10 --target 0.95 --noise 0.2
+    python -m repro study cifar10 --target 0.95 --store-dir ~/.cache/repro/store
     python -m repro clean-loop cifar100 --target 0.8 --noise 0.4 --regime cheap
     python -m repro feebee cifar10 --estimator 1nn --estimator kde
+    python -m repro store stats
+    python -m repro store clear
 
 Every subcommand prints plain text; ``study --json`` emits the full
 report as JSON for downstream tooling.
@@ -95,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         "0 disables re-ranking (default: backend's 32)",
     )
     _add_engine_args(study)
+    _add_store_args(study)
     study.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
@@ -124,6 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ESTIMATOR_REGISTRY),
         help="estimator(s) to evaluate (default: 1nn)",
     )
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect or prune a persistent embedding-store dir"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    for name, text in (
+        ("stats", "summarize the cached block files"),
+        ("clear", "delete every cached block file"),
+        ("path", "print the resolved store directory"),
+    ):
+        cmd = store_sub.add_parser(name, help=text)
+        cmd.add_argument(
+            "--store-dir", default=None,
+            help="spill directory (default: $REPRO_STORE_DIR or "
+            "~/.cache/repro/store)",
+        )
     return parser
 
 
@@ -138,6 +158,24 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="worker cap for parallel backends (default: available cores)",
     )
     _add_cache_arg(parser)
+
+
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="persistent spill directory for the embedding store; a "
+        "warm directory serves repeat runs with zero transform calls "
+        "(default: memory-only caching)",
+    )
+    parser.add_argument(
+        "--store-hot-mb", type=int, default=None,
+        help="in-memory (hot tier) budget in MiB; alias of "
+        "--embedding-cache-mb and takes precedence when both are given",
+    )
+    parser.add_argument(
+        "--store-spill-mb", type=int, default=None,
+        help="on-disk (spill tier) budget in MiB (default 1024)",
+    )
 
 
 def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
@@ -222,12 +260,22 @@ def _cmd_study(args: argparse.Namespace) -> int:
     catalog = catalog_for(
         dataset, seed=args.seed, max_embeddings=args.max_embeddings
     )
+    hot_mb = (
+        args.store_hot_mb
+        if args.store_hot_mb is not None
+        else args.embedding_cache_mb
+    )
     config_kwargs = {
         "strategy": args.strategy,
         "seed": args.seed,
         "execution_backend": args.execution_backend,
         "max_workers": args.max_workers,
-        "embedding_cache_bytes": args.embedding_cache_mb * 2**20,
+        "embedding_cache_bytes": hot_mb * 2**20,
+        "store_dir": args.store_dir,
+        "store_spill_bytes": (
+            None if args.store_spill_mb is None
+            else args.store_spill_mb * 2**20
+        ),
         "compute_dtype": args.dtype,
         "knn_backend": args.knn_backend,
         "pq_m": args.pq_m,
@@ -251,9 +299,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         # e.g. an ANN knob set without a backend that consumes it.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    report = Snoopy(catalog, config).run(
-        dataset, target_accuracy=args.target
-    )
+    with Snoopy(catalog, config) as system:
+        report = system.run(dataset, target_accuracy=args.target)
     if args.json:
         from repro.reporting.serialize import report_to_json
 
@@ -352,6 +399,40 @@ def _cmd_feebee(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.transforms.store import (
+        clear_spill_dir,
+        default_store_dir,
+        scan_spill_dir,
+    )
+
+    directory = args.store_dir or default_store_dir()
+    if args.store_command == "path":
+        print(directory)
+        return 0
+    if args.store_command == "clear":
+        files, reclaimed = clear_spill_dir(directory)
+        print(f"removed {files} block file(s), "
+              f"reclaimed {reclaimed / 2**20:.1f} MiB from {directory}")
+        return 0
+    entries = scan_spill_dir(directory)
+    if not entries:
+        print(f"store {directory}: empty (no cached block files)")
+        return 0
+    total = sum(entry["bytes"] for entry in entries)
+    rows = [
+        [entry["file"], entry["dtype"], entry["shape"],
+         f"{entry['bytes'] / 2**10:.1f}"]
+        for entry in entries
+    ]
+    print(render_table(
+        ["file", "dtype", "shape", "KiB"], rows,
+        title=f"store {directory}: {len(entries)} block file(s), "
+              f"{total / 2**20:.1f} MiB",
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -365,6 +446,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_clean_loop(args)
     if args.command == "feebee":
         return _cmd_feebee(args)
+    if args.command == "store":
+        return _cmd_store(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -30,8 +30,18 @@ Backends:
 ``process``
     :class:`~concurrent.futures.ProcessPoolExecutor`; arms are pickled
     to workers, mutated there, and their state is merged back by
-    identity-preserving ``__dict__`` replacement.  Each worker starts
-    with a cold embedding cache (stores pickle as configuration only).
+    identity-preserving ``__dict__`` replacement.  When a
+    sharing-enabled :class:`~repro.transforms.store.EmbeddingStore` is
+    bound (:meth:`ExecutionBackend.bind_store` — done by
+    :class:`~repro.core.snoopy.Snoopy` before the first round), workers
+    are initialized with the store's attach handle: hot blocks are read
+    zero-copy from the parent's shared-memory segments, misses are
+    served from (and written to) the shared spill directory, and the
+    arm's training pool crosses the boundary as a
+    :class:`~repro.transforms.store.SharedArrayRef` instead of a
+    pickled payload — so a warm store means zero transform calls and
+    near-zero pickled bytes per pull.  Without a bound store, workers
+    fall back to cold config-only caches (the pre-sharing behaviour).
 """
 
 from __future__ import annotations
@@ -102,6 +112,15 @@ class ExecutionBackend(ABC):
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply ``fn`` to every item; results in input order."""
 
+    def bind_store(self, store) -> None:
+        """Attach an :class:`EmbeddingStore` workers should share.
+
+        A no-op for in-process backends (serial/thread share the store
+        object directly); the process backend uses it to initialize
+        workers with an attach handle.  Must be called before the first
+        :meth:`map` that should benefit (the pool is built lazily).
+        """
+
     def close(self) -> None:
         """Release worker resources (idempotent)."""
 
@@ -156,11 +175,38 @@ class ThreadBackend(_PoolBackend):
         return ThreadPoolExecutor(max_workers=self.max_workers)
 
 
+def _init_worker_store(state: dict) -> None:
+    """Process-pool initializer: pre-attach the shared store handle.
+
+    Materializing the handle once per worker (instead of per unpickled
+    arm) gives every arm in the worker one shared attach cache and one
+    digest cache; the registry in :mod:`repro.transforms.store` then
+    dedupes each arm's unpickled store to this instance.
+    """
+    from repro.transforms.store import attach_handle
+
+    attach_handle(state)
+
+
 @register_backend("process")
 class ProcessBackend(_PoolBackend):
     """Process pool; tasks and results cross a pickle boundary."""
 
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._store_state = None
+
+    def bind_store(self, store) -> None:
+        if store is not None and store.can_share_arrays:
+            self._store_state = store.handle_state()
+
     def _make_pool(self):
+        if self._store_state is not None:
+            return ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker_store,
+                initargs=(self._store_state,),
+            )
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
@@ -195,8 +241,9 @@ def _merge_arm(original, returned) -> None:
     copies; the original object adopts the copy's ``__dict__`` so every
     existing reference (selection results, run state) stays valid, while
     the parent-side objects named in :data:`_PRESERVE_ON_MERGE` survive
-    the swap (worker copies carry a cold, config-only store and cloned
-    transforms/pools with identical content).
+    the swap (worker copies carry an attach handle — or a cold
+    config-only store pre-sharing — and cloned transforms/pools with
+    identical content).
     """
     if returned is original:
         return

@@ -117,8 +117,22 @@ class SnoopyConfig:
         Worker cap for parallel backends; ``None`` uses the cores the
         process may run on.
     embedding_cache_bytes:
-        Byte budget of the shared :class:`EmbeddingStore` (default
-        256 MiB).  ``0`` or ``None`` disables embedding memoization.
+        Byte budget of the shared :class:`EmbeddingStore`'s hot
+        (in-memory) tier (default 256 MiB).  ``0`` or ``None`` disables
+        embedding memoization.
+    store_dir:
+        Spill/persistence directory for the :class:`EmbeddingStore`.
+        When set, every cached block is also written to a
+        content-addressed, digest-verified file there: evictions move
+        blocks to disk instead of discarding them (corpora larger than
+        the hot budget stream through), and a later run — or another
+        tenant — pointed at the same directory warm-starts with zero
+        transform calls.  ``None`` (default) keeps the cache
+        memory-only (the ``process`` backend then uses an ephemeral
+        spill dir, removed when the store closes).
+    store_spill_bytes:
+        Byte budget of the spill tier (default 1 GiB); the
+        least-recently-used block files are pruned beyond it.
     compute_dtype:
         Precision of every distance evaluation and of the cached
         embedding blocks: "float32" (default — single-precision BLAS,
@@ -148,6 +162,8 @@ class SnoopyConfig:
     execution_backend: str = "serial"
     max_workers: int | None = None
     embedding_cache_bytes: int | None = DEFAULT_CACHE_BYTES
+    store_dir: str | None = None
+    store_spill_bytes: int | None = None
     compute_dtype: str = DEFAULT_COMPUTE_DTYPE
 
     def __post_init__(self) -> None:
@@ -175,6 +191,16 @@ class SnoopyConfig:
             raise DataValidationError(
                 "embedding_cache_bytes must be non-negative, "
                 f"got {self.embedding_cache_bytes}"
+            )
+        if self.store_spill_bytes is not None and self.store_spill_bytes < 1:
+            raise DataValidationError(
+                "store_spill_bytes must be positive, "
+                f"got {self.store_spill_bytes}"
+            )
+        if self.store_dir is not None and not self.embedding_cache_bytes:
+            raise DataValidationError(
+                "store_dir requires embedding memoization; "
+                "set embedding_cache_bytes > 0"
             )
         resolve_dtype(self.compute_dtype)  # fail fast on an unknown dtype
         for knob in ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank"):
@@ -293,16 +319,35 @@ class Snoopy:
         if not self.catalog:
             raise DataValidationError("catalog must contain at least one transform")
         self.config = config or SnoopyConfig()
+        self._owns_store = False
         if store is not None:
             self.store: EmbeddingStore | None = store
         elif self.config.embedding_cache_bytes:
             self.store = EmbeddingStore(
                 self.config.embedding_cache_bytes,
                 dtype=self.config.compute_dtype,
+                store_dir=self.config.store_dir,
+                spill_bytes=self.config.store_spill_bytes,
             )
+            self._owns_store = True
         else:
             self.store = None
         self._state: _RunState | None = None
+
+    def close(self) -> None:
+        """Release the owned store's shared segments/spill dir; idempotent.
+
+        Externally supplied stores are left alone — their owner decides
+        when sharing resources are released.
+        """
+        if self.store is not None and self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "Snoopy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -318,7 +363,12 @@ class Snoopy:
         try:
             self._allocate(ctx)
         finally:
+            # Exception-safe epilogue: shut down the worker pool and
+            # unpin the shared training-pool segments even when an
+            # allocation raises, so no /dev/shm bytes outlive the run.
             ctx.scheduler.close()
+            if self.store is not None:
+                self.store.release_shared()
         self._aggregate(ctx)
         report = self._guide(ctx)
         self._state = _RunState(
@@ -371,10 +421,15 @@ class Snoopy:
         ctx.metric = self._resolve_metric(dataset)
         rng = ensure_rng(config.seed)
         ctx.order = rng.permutation(dataset.num_train)
+        if config.execution_backend == "process" and self.store is not None:
+            # Workers must attach hot blocks by name and share a spill
+            # dir; enabling before arms are built lets even the test-set
+            # embeddings land in shared segments.
+            self.store.enable_sharing()
         ctx.arms = self._build_arms(dataset, ctx.order, ctx.metric)
-        ctx.scheduler = RoundScheduler(
-            make_backend(config.execution_backend, config.max_workers)
-        )
+        backend = make_backend(config.execution_backend, config.max_workers)
+        backend.bind_store(self.store)
+        ctx.scheduler = RoundScheduler(backend)
         return ctx
 
     def _resolve_metric(self, dataset) -> str:

@@ -1,6 +1,7 @@
 """Unit tests for JSON serialization and the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -161,6 +162,52 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "cleaning loop" in out
         assert "expensive run(s)" in out
+
+    def test_study_with_store_dir_warm_starts(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = [
+            "study", "cifar10", "--target", "0.9",
+            "--scale", "0.005", "--max-embeddings", "3",
+            "--store-dir", store,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run reads the warm spill tier
+        second = capsys.readouterr().out
+        # Identical study, identical report (and block files exist).
+        assert first.splitlines()[-4:] == second.splitlines()[-4:]
+        assert any(
+            name.endswith(".blk") for name in os.listdir(store)
+        )
+
+    def test_store_stats_and_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main([
+            "study", "cifar10", "--target", "0.9",
+            "--scale", "0.005", "--max-embeddings", "3",
+            "--store-dir", store, "--store-hot-mb", "64",
+            "--store-spill-mb", "256",
+        ])
+        capsys.readouterr()
+        assert main(["store", "stats", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "block file(s)" in out
+        assert "float32" in out
+        assert main(["store", "clear", "--store-dir", store]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", "stats", "--store-dir", store]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_store_stats_empty_dir(self, tmp_path, capsys):
+        assert main(
+            ["store", "stats", "--store-dir", str(tmp_path)]
+        ) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_store_path_honors_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        assert main(["store", "path"]) == 0
+        assert capsys.readouterr().out.strip() == str(tmp_path)
 
 
 @pytest.mark.ann

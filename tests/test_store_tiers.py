@@ -1,0 +1,474 @@
+"""Tests for the EmbeddingStore's shared-memory and disk spill tiers."""
+
+import gc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.transforms.linear import IdentityTransform, PCATransform
+from repro.transforms.store import (
+    _SPILL_SUFFIX,
+    EmbeddingStore,
+    SharedArrayRef,
+    _read_spill,
+    _write_spill,
+    attach_handle,
+    clear_spill_dir,
+    scan_spill_dir,
+)
+
+
+class CountingTransform(IdentityTransform):
+    """Identity transform counting transform() invocations.
+
+    The counter mutates the transform's pickled state, so this helper is
+    only for single-process tests (the store caches the content token by
+    object identity, making in-process counting safe).
+    """
+
+    def __init__(self, dim, name="counting"):
+        super().__init__(dim)
+        self.name = name
+        self.calls = 0
+
+    def transform(self, x):
+        self.calls += 1
+        return super().transform(x)
+
+
+class LoggingTransform(IdentityTransform):
+    """Identity transform logging transform() calls to a file.
+
+    Its pickled state never changes (the log lives outside the object),
+    so its content token — and therefore its cached blocks — stay stable
+    across pickling, processes, and runs.  The file also counts calls
+    made in *worker* processes, which an attribute counter cannot.
+    """
+
+    def __init__(self, dim, log_path, name="logging"):
+        super().__init__(dim)
+        self.name = name
+        self.log_path = str(log_path)
+
+    def transform(self, x):
+        with open(self.log_path, "a") as fh:
+            fh.write(f"{os.getpid()}:{len(x)}\n")
+        return super().transform(x)
+
+    @property
+    def calls_logged(self):
+        try:
+            with open(self.log_path) as fh:
+                return sum(1 for _ in fh)
+        except FileNotFoundError:
+            return 0
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.normal(size=(300, 6))
+
+
+@pytest.fixture()
+def transform(data):
+    return CountingTransform(6).fit(data)
+
+
+def _spill_files(directory):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.endswith(_SPILL_SUFFIX)
+    )
+
+
+class TestSpillFileFormat:
+    def test_round_trip_preserves_dtype_shape_content(self, tmp_path, rng):
+        for dtype in ("float32", "float64", "uint8", "int64"):
+            array = (rng.random((13, 7)) * 100).astype(dtype)
+            _write_spill(str(tmp_path), f"block-{dtype}", array)
+            back = _read_spill(str(tmp_path), f"block-{dtype}")
+            assert back.dtype == array.dtype
+            assert back.shape == array.shape
+            np.testing.assert_array_equal(back, array)
+
+    def test_read_back_is_read_only(self, tmp_path):
+        _write_spill(str(tmp_path), "ro", np.ones((4, 4)))
+        back = _read_spill(str(tmp_path), "ro")
+        with pytest.raises(ValueError):
+            back[0, 0] = 2.0
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert _read_spill(str(tmp_path), "never-written") is None
+
+    def test_corrupted_payload_is_miss_and_removed(self, tmp_path):
+        _write_spill(str(tmp_path), "victim", np.ones((8, 8)))
+        path = tmp_path / ("victim" + _SPILL_SUFFIX)
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF  # flip one payload bit
+        path.write_bytes(bytes(blob))
+        assert _read_spill(str(tmp_path), "victim") is None
+        assert not path.exists()
+
+    def test_truncated_file_is_miss_and_removed(self, tmp_path):
+        _write_spill(str(tmp_path), "victim", np.ones((8, 8)))
+        path = tmp_path / ("victim" + _SPILL_SUFFIX)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert _read_spill(str(tmp_path), "victim") is None
+        assert not path.exists()
+
+    def test_garbage_file_is_miss_and_removed(self, tmp_path):
+        path = tmp_path / ("junk" + _SPILL_SUFFIX)
+        path.write_bytes(b"not a block file at all")
+        assert _read_spill(str(tmp_path), "junk") is None
+        assert not path.exists()
+
+
+class TestSpillTier:
+    def test_blocks_written_through_to_disk(self, tmp_path, data, transform):
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            store.embed(transform, data)
+            assert len(_spill_files(tmp_path)) == 5
+            assert store.stats.spill_writes == 5
+
+    def test_eviction_keeps_spilled_copy_and_promotes_on_hit(
+        self, tmp_path, data, transform
+    ):
+        block_bytes = 64 * 6 * 8
+        with EmbeddingStore(
+            max_bytes=2 * block_bytes, block_rows=64, store_dir=tmp_path
+        ) as store:
+            store.embed(transform, data)  # 5 blocks through 2-block budget
+            assert store.stats.evictions >= 3
+            transform.calls = 0
+            out = store.embed(transform, data)
+            # Every evicted block came back from disk, none recomputed.
+            assert transform.calls == 0
+            assert store.stats.spill_hits >= 3
+            np.testing.assert_array_equal(out, data)
+
+    def test_warm_from_disk_fresh_store_zero_transform_calls(
+        self, tmp_path, data
+    ):
+        first = CountingTransform(6, name="warm").fit(data)
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            store.embed(first, data)
+        # A *new* store and a rebuilt-but-identical transform: every
+        # block must come from the spill tier (simulates a process
+        # restart / another tenant on the same store_dir).
+        second = CountingTransform(6, name="warm").fit(data)
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            out = store.embed(second, data)
+            assert second.calls == 0
+            assert store.stats.misses == 0
+            assert store.stats.spill_hits == 5
+        np.testing.assert_array_equal(out, data)
+
+    def test_different_transforms_never_share_spill_files(
+        self, tmp_path, data
+    ):
+        ident = CountingTransform(6, name="same").fit(data)
+        pca = PCATransform(3).fit(data)
+        pca.name = "same"
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            a = store.embed(ident, data)
+            b = store.embed(pca, data)
+            assert a.shape != b.shape
+
+    def test_float32_and_float64_stores_do_not_share(self, tmp_path, data):
+        first = CountingTransform(6, name="dt").fit(data)
+        with EmbeddingStore(
+            block_rows=64, store_dir=tmp_path, dtype="float32"
+        ) as store:
+            store.embed(first, data)
+        second = CountingTransform(6, name="dt").fit(data)
+        with EmbeddingStore(
+            block_rows=64, store_dir=tmp_path, dtype="float64"
+        ) as store:
+            out = store.embed(second, data)
+            # The float32 files must not serve the float64 store.
+            assert second.calls > 0
+            assert out.dtype == np.float64
+
+    def test_spill_budget_prunes_oldest_files(self, tmp_path, data, transform):
+        block_file_bytes = 64 * 6 * 8 + 120  # payload + header slack
+        with EmbeddingStore(
+            block_rows=64,
+            store_dir=tmp_path,
+            spill_bytes=2 * block_file_bytes,
+        ) as store:
+            store.embed(transform, data)  # writes 5 block files
+            assert len(_spill_files(tmp_path)) <= 2
+            assert store.stats.spill_current_bytes <= store.spill_bytes
+
+    def test_corrupt_spill_block_recomputes(self, tmp_path, data, transform):
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            store.embed(transform, data)
+        for name in _spill_files(tmp_path):
+            path = tmp_path / name
+            blob = bytearray(path.read_bytes())
+            blob[-3] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        fresh = CountingTransform(6).fit(data)
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            result = store.embed(fresh, data)
+            assert fresh.calls > 0  # recomputed, never crashed
+            np.testing.assert_array_equal(result, data)
+
+    def test_invalidate_removes_this_sessions_spill_files(
+        self, tmp_path, data, transform
+    ):
+        with EmbeddingStore(block_rows=64, store_dir=tmp_path) as store:
+            store.embed(transform, data)
+            assert len(_spill_files(tmp_path)) == 5
+            store.invalidate(transform)
+            assert len(_spill_files(tmp_path)) == 0
+
+    def test_aux_blocks_are_session_scoped_on_disk(self, tmp_path):
+        codes = np.arange(64, dtype=np.uint8).reshape(16, 4)
+        with EmbeddingStore(store_dir=tmp_path) as store:
+            store.put_block("pq", "codes", codes)
+            assert len(_spill_files(tmp_path)) == 1
+        # A new session must not see the previous session's aux blocks
+        # (their content is caller-mutable, unlike embedding blocks).
+        with EmbeddingStore(store_dir=tmp_path) as store:
+            assert store.get_block("pq", "codes") is None
+
+    def test_aux_block_spill_round_trip_within_session(self, tmp_path):
+        codes = np.arange(64, dtype=np.uint8).reshape(16, 4)
+        block_bytes = codes.nbytes
+        with EmbeddingStore(max_bytes=block_bytes, store_dir=tmp_path) as store:
+            store.put_block("pq", "codes", codes)
+            # Push the codes out of the hot tier.
+            store.put_block("pq", "other", np.zeros((16, 4), dtype=np.uint8))
+            back = store.get_block("pq", "codes")
+            assert back is not None
+            assert back.dtype == np.uint8
+            np.testing.assert_array_equal(back, codes)
+
+
+class TestScanAndClear:
+    def test_scan_reports_layout(self, tmp_path):
+        _write_spill(str(tmp_path), "a", np.zeros((8, 4), dtype=np.float32))
+        entries = scan_spill_dir(str(tmp_path))
+        assert len(entries) == 1
+        assert entries[0]["dtype"] == "float32"
+        assert entries[0]["shape"] == "8x4"
+        assert entries[0]["bytes"] > 8 * 4 * 4
+
+    def test_scan_missing_dir_is_empty(self, tmp_path):
+        assert scan_spill_dir(str(tmp_path / "nope")) == []
+
+    def test_clear_removes_files_and_reports_bytes(self, tmp_path):
+        _write_spill(str(tmp_path), "a", np.zeros((8, 4)))
+        _write_spill(str(tmp_path), "b", np.zeros((8, 4)))
+        files, reclaimed = clear_spill_dir(str(tmp_path))
+        assert files == 2
+        assert reclaimed > 0
+        assert _spill_files(tmp_path) == []
+
+
+class TestSharedMemoryTier:
+    def test_enable_sharing_migrates_hot_blocks(self, data, transform):
+        with EmbeddingStore(block_rows=64) as store:
+            store.embed(transform, data)
+            store.enable_sharing()
+            assert store.is_shared
+            assert store.stats.shared_segments >= 5
+            transform.calls = 0
+            out = store.embed(transform, data)
+            assert transform.calls == 0
+            np.testing.assert_array_equal(out, data)
+
+    def test_handle_attaches_blocks_by_name(self, data, tmp_path):
+        transform = LoggingTransform(6, tmp_path / "calls.log").fit(data)
+        with EmbeddingStore(block_rows=64, shared=True) as store:
+            store.embed(transform, data)
+            warm_calls = transform.calls_logged
+            handle = pickle.loads(pickle.dumps(store))
+            assert handle.is_handle
+            # Same transform content -> same token -> same segments.
+            clone = pickle.loads(pickle.dumps(transform))
+            out = handle.embed(clone, data)
+            np.testing.assert_array_equal(out, data)
+            assert transform.calls_logged == warm_calls
+            assert handle.stats.misses == 0
+
+    def test_handle_unpickles_once_per_process(self, data, transform):
+        with EmbeddingStore(block_rows=64, shared=True) as store:
+            h1 = pickle.loads(pickle.dumps(store))
+            h2 = pickle.loads(pickle.dumps(store))
+            assert h1 is h2
+
+    def test_close_unlinks_all_segments(self, data, transform):
+        store = EmbeddingStore(block_rows=64, shared=True)
+        store.embed(transform, data)
+        names = [f"/dev/shm/{e.name}" for e in store._blocks.values()]
+        assert names and all(os.path.exists(n) for n in names)
+        store.close()
+        assert not any(os.path.exists(n) for n in names)
+
+    def test_garbage_collection_unlinks_segments(self, data, transform):
+        store = EmbeddingStore(block_rows=64, shared=True)
+        store.embed(transform, data)
+        session = store._session
+        del store
+        gc.collect()
+        leaked = [n for n in os.listdir("/dev/shm") if session in n]
+        assert leaked == []
+
+    def test_close_removes_ephemeral_spill_dir(self):
+        store = EmbeddingStore(shared=True)
+        directory = store.store_dir
+        assert directory is not None and os.path.isdir(directory)
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_close_is_idempotent(self):
+        store = EmbeddingStore(shared=True)
+        store.close()
+        store.close()
+
+    def test_exception_inside_with_still_cleans_up(self, data, transform):
+        with pytest.raises(RuntimeError):
+            with EmbeddingStore(block_rows=64, shared=True) as store:
+                store.embed(transform, data)
+                session = store._session
+                raise RuntimeError("boom")
+        assert not [n for n in os.listdir("/dev/shm") if session in n]
+
+
+class TestSharedArrays:
+    def test_round_trip_through_ref(self, rng):
+        pool = rng.normal(size=(128, 16))
+        with EmbeddingStore(shared=True) as store:
+            ref = store.share_array(pool)
+            assert isinstance(ref, SharedArrayRef)
+            assert ref.nbytes == pool.nbytes
+            handle = pickle.loads(pickle.dumps(store))
+            resolved = handle.resolve_array(pickle.loads(pickle.dumps(ref)))
+            np.testing.assert_array_equal(resolved, pool)
+
+    def test_sharing_same_array_twice_reuses_segment(self, rng):
+        pool = rng.normal(size=(64, 8))
+        with EmbeddingStore(shared=True) as store:
+            first = store.share_array(pool)
+            second = store.share_array(pool)
+            assert first == second
+            assert store.stats.pinned_bytes == pool.nbytes
+
+    def test_unshared_store_returns_none(self, rng):
+        with EmbeddingStore() as store:
+            assert store.share_array(rng.normal(size=(4, 4))) is None
+            assert not store.can_share_arrays
+
+    def test_release_shared_unpins(self, rng):
+        with EmbeddingStore(shared=True) as store:
+            ref = store.share_array(rng.normal(size=(64, 8)))
+            assert store.stats.pinned_bytes > 0
+            store.release_shared()
+            assert store.stats.pinned_bytes == 0
+            assert store.resolve_array(ref) is None
+
+
+def _worker_embed(payload):
+    """Embed a slice through an attached store handle (separate process)."""
+    store, transform, data, start, stop = payload
+    out = store.embed_rows(transform, data, start, stop)
+    return os.getpid(), out.copy(), store.stats.misses
+
+
+def _worker_put_get(payload):
+    """Concurrent aux-block writers/readers over one shared store."""
+    store, role, value = payload
+    if role == "writer":
+        store.put_block("coherency", "shared-key", value)
+        return os.getpid(), None
+    return os.getpid(), store.get_block("coherency", "shared-key")
+
+
+@pytest.mark.slow
+class TestCrossProcessCoherency:
+    def test_two_workers_agree_on_embeddings(self, data, tmp_path):
+        transform = LoggingTransform(6, tmp_path / "calls.log").fit(data)
+        with EmbeddingStore(block_rows=64, shared=True) as store:
+            store.embed(transform, data)  # warm the shared hot tier
+            warm_calls = transform.calls_logged
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                results = list(pool.map(
+                    _worker_embed,
+                    [
+                        (store, transform, data, 0, 150),
+                        (store, transform, data, 150, 300),
+                    ],
+                ))
+            (pid_a, out_a, miss_a), (pid_b, out_b, miss_b) = results
+            np.testing.assert_array_equal(out_a, data[:150])
+            np.testing.assert_array_equal(out_b, data[150:])
+            # Warm store: workers recomputed nothing, anywhere.
+            assert miss_a == 0 and miss_b == 0
+            assert transform.calls_logged == warm_calls
+
+    def test_concurrent_put_block_readers_see_writer_value(self, rng):
+        codes = (rng.random((32, 8)) * 255).astype(np.uint8)
+        with EmbeddingStore(shared=True) as store:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                list(pool.map(
+                    _worker_put_get, [(store, "writer", codes)]
+                ))
+                results = list(pool.map(
+                    _worker_put_get,
+                    [(store, "reader", None), (store, "reader", None)],
+                ))
+            for _pid, seen in results:
+                assert seen is not None
+                np.testing.assert_array_equal(seen, codes)
+            # The parent agrees with the workers too (via the spill dir).
+            mine = store.get_block("coherency", "shared-key")
+            assert mine is not None
+            np.testing.assert_array_equal(mine, codes)
+
+    def test_worker_survives_parent_side_eviction(self, data, tmp_path):
+        transform = LoggingTransform(6, tmp_path / "calls.log").fit(data)
+        block_bytes = 64 * 6 * 8
+        with EmbeddingStore(
+            max_bytes=2 * block_bytes, block_rows=64, shared=True
+        ) as store:
+            store.embed(transform, data)  # evicts 3 of 5 blocks to spill
+            warm_calls = transform.calls_logged
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                results = list(pool.map(
+                    _worker_embed,
+                    [
+                        (store, transform, data, 0, 150),
+                        (store, transform, data, 150, 300),
+                    ],
+                ))
+            (_pid_a, out_a, _), (_pid_b, out_b, _) = results
+            np.testing.assert_array_equal(out_a, data[:150])
+            np.testing.assert_array_equal(out_b, data[150:])
+            # Evicted blocks came from the shared spill dir, not from
+            # re-running the transform in a worker.
+            assert transform.calls_logged == warm_calls
+
+
+class TestHandleState:
+    def test_attach_handle_registry_pid_keyed(self):
+        with EmbeddingStore(shared=True) as store:
+            state = store.handle_state()
+            handle = attach_handle(state)
+            again = attach_handle(state)
+            assert handle is again
+            assert handle.is_handle
+            assert handle.store_dir == store.store_dir
+
+    def test_handle_state_carries_budgets(self):
+        with EmbeddingStore(
+            max_bytes=123456, block_rows=32, spill_bytes=654321, shared=True
+        ) as store:
+            state = store.handle_state()
+            assert state["max_bytes"] == 123456
+            assert state["block_rows"] == 32
+            assert state["spill_bytes"] == 654321
