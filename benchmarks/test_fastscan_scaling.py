@@ -1,0 +1,235 @@
+"""Packed fast-scan + sharded inverted lists at feasibility-study scale.
+
+The headline numbers of the parallel ANN tier: on a million-point
+corpus (``REPRO_FASTSCAN_N`` scales it up to the paper's 10M regime),
+the 4-bit packed fast-scan must (a) answer queries >= 2x faster than
+the float ADC scan over the *same* codes at the same knob settings —
+the apples-to-apples baseline the packed layout replaces — while (b)
+keeping recall@1 >= 0.95 against exact search, and (c) the sharded
+scan must return bit-identical results to the single-process scan.
+On multi-core hosts a :class:`~repro.core.engine.ShardedScanExecutor`
+row records the process-parallel throughput (shard-speedup assertions
+are gated on worker availability); the recorded table carries whatever
+rows the host could measure.
+
+The progressive check mirrors the paper's use: a streamed
+:class:`~repro.knn.progressive.ProgressiveOneNN` error curve through
+the packed + sharded backend must track the exact evaluator within the
+convergence tolerance.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import write_result
+
+from repro.core.engine import ShardedScanExecutor, default_max_workers
+from repro.knn.brute_force import BruteForceKNN
+from repro.knn.progressive import ProgressiveOneNN
+from repro.knn.pq import IVFPQIndex
+from repro.reporting.tables import render_table
+from repro.transforms.store import EmbeddingStore
+
+pytestmark = [pytest.mark.slow, pytest.mark.ann]
+
+N_CORPUS = int(os.environ.get("REPRO_FASTSCAN_N", "1000000"))
+N_QUERIES = 2048
+N_EXACT = 512  # exact ground truth is the expensive part; subset it
+DIM = 64
+LATENT = 8
+BLOBS = 1024
+NLIST = 64
+NPROBE = 16
+PQ_M = 16
+RERANK = 96
+DTYPE = "float32"
+SHARDS = 2
+
+
+def _corpus():
+    """Embeddings with low intrinsic dimension at index-stress scale:
+    clustered latent factors through a random linear lift, plus an
+    ambient noise floor (the deep-feature regime of the hub models the
+    paper's feasibility studies scan)."""
+    rng = np.random.default_rng(0)
+    lift = rng.normal(size=(LATENT, DIM)).astype(np.float32)
+    lift /= np.sqrt(LATENT)
+    centers = rng.normal(scale=3.0, size=(BLOBS, LATENT))
+    assign = rng.integers(0, BLOBS, size=N_CORPUS)
+    z = (centers[assign] + rng.normal(size=(N_CORPUS, LATENT))).astype(
+        np.float32
+    )
+    x = z @ lift
+    x += 0.02 * rng.normal(size=(N_CORPUS, DIM)).astype(np.float32)
+    y = (assign % 10).astype(np.int64)
+    q_assign = rng.integers(0, BLOBS, size=N_QUERIES)
+    zq = (centers[q_assign] + rng.normal(size=(N_QUERIES, LATENT))).astype(
+        np.float32
+    )
+    queries = zq @ lift
+    queries += 0.02 * rng.normal(size=(N_QUERIES, DIM)).astype(np.float32)
+    return x, y, queries
+
+
+def _timed_queries(index, queries, repeats=2):
+    """Median queries/s of k=1 searches over the full query set."""
+    walls = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        index.kneighbors(queries, k=1)
+        walls.append(time.perf_counter() - started)
+    return len(queries) / float(np.median(walls))
+
+
+def test_fastscan_scaling():
+    x, y, queries = _corpus()
+    exact = BruteForceKNN(dtype=DTYPE).fit(x, y)
+    _, exact_idx = exact.kneighbors(queries[:N_EXACT], k=1)
+    del exact
+
+    pq_knobs = dict(
+        nlist=NLIST, nprobe=NPROBE, pq_m=PQ_M, rerank=RERANK,
+        seed=0, dtype=DTYPE,
+    )
+
+    def recall(index):
+        _, idx = index.kneighbors(queries[:N_EXACT], k=1)
+        return float(np.mean(idx[:, 0] == exact_idx[:, 0]))
+
+    adc8 = IVFPQIndex(pq_nbits=8, **pq_knobs).fit(x, y)
+    adc8_qps = _timed_queries(adc8, queries)
+    adc8_recall = recall(adc8)
+    del adc8
+
+    adc4 = IVFPQIndex(pq_nbits=4, **pq_knobs).fit(x, y)
+    adc4_qps = _timed_queries(adc4, queries)
+    adc4_recall = recall(adc4)
+    adc4_scan_bytes = adc4.memory_stats()["scan_index_bytes"]
+    del adc4
+
+    packed = IVFPQIndex(pq_nbits=4, pq_packed=True, **pq_knobs).fit(x, y)
+    packed_qps = _timed_queries(packed, queries)
+    packed_recall = recall(packed)
+    memory = packed.memory_stats()
+
+    # Sharded scan, inline (no pool): bit-identical to the
+    # single-process scan — the tentpole invariant, asserted at full
+    # benchmark scale, not just on the unit-test corpora.
+    dist_1, idx_1 = packed.kneighbors(queries, k=1)
+    sharded = IVFPQIndex(
+        pq_nbits=4, pq_packed=True, shards=SHARDS, **pq_knobs
+    ).fit(x, y)
+    dist_s, idx_s = sharded.kneighbors(queries, k=1)
+    assert np.array_equal(idx_1, idx_s)
+    assert np.array_equal(dist_1, dist_s)
+    del sharded
+
+    rows = [
+        [
+            "ivf_pq adc8", f"b=8/rr={RERANK}",
+            round(adc8_recall, 3), int(round(adc8_qps)), 1.0,
+        ],
+        [
+            "ivf_pq adc4", f"b=4/rr={RERANK}",
+            round(adc4_recall, 3), int(round(adc4_qps)),
+            round(adc4_qps / adc8_qps, 2),
+        ],
+        [
+            "fastscan4", f"b=4/packed/rr={RERANK}",
+            round(packed_recall, 3), int(round(packed_qps)),
+            round(packed_qps / adc8_qps, 2),
+        ],
+    ]
+
+    # Process-parallel sharded row: only measurable with real workers.
+    workers = default_max_workers()
+    shard_note = f"single-core host ({workers} worker): shard row skipped"
+    if workers > 1:
+        with EmbeddingStore(max_bytes=2 * x.nbytes) as store:
+            store.enable_sharing()
+            with ShardedScanExecutor(store=store) as executor:
+                pooled = IVFPQIndex(
+                    pq_nbits=4, pq_packed=True, shards=min(SHARDS, workers),
+                    scan_executor=executor, store=store, **pq_knobs,
+                ).fit(x, y)
+                pooled_qps = _timed_queries(pooled, queries)
+                dist_p, idx_p = pooled.kneighbors(queries, k=1)
+                assert np.array_equal(idx_1, idx_p)
+                assert np.array_equal(dist_1, dist_p)
+                pooled.release_shards()
+        rows.append([
+            f"fastscan4 x{min(SHARDS, workers)}",
+            f"b=4/packed/sharded/rr={RERANK}",
+            round(packed_recall, 3), int(round(pooled_qps)),
+            round(pooled_qps / adc8_qps, 2),
+        ])
+        shard_note = (
+            f"sharded executor speedup over single-process fast-scan: "
+            f"{pooled_qps / packed_qps:.2f}x on {workers} workers"
+        )
+        assert pooled_qps >= 1.2 * packed_qps
+
+    # Progressive 1NN convergence through the packed + sharded backend.
+    sub = 12_000
+    test_n = 400
+    exact_eval = ProgressiveOneNN(
+        queries[:test_n], y[:test_n], dtype=DTYPE
+    )
+    fast_eval = ProgressiveOneNN(
+        queries[:test_n], y[:test_n], knn_backend="ivf_pq",
+        knn_backend_options=dict(
+            nlist=16, nprobe=8, pq_m=PQ_M, pq_nbits=4, pq_packed=True,
+            shards=SHARDS, rerank=RERANK, seed=0,
+        ),
+        dtype=DTYPE,
+    )
+    max_curve_gap = 0.0
+    for start in range(0, sub, 2_000):
+        e_exact = exact_eval.partial_fit(
+            x[start : start + 2_000], y[start : start + 2_000]
+        )
+        e_fast = fast_eval.partial_fit(
+            x[start : start + 2_000], y[start : start + 2_000]
+        )
+        max_curve_gap = max(max_curve_gap, abs(e_exact - e_fast))
+
+    text = render_table(
+        ["index", "config", "recall@1", "queries/s", "vs adc8"],
+        rows,
+        title=(
+            f"Fast-scan scaling (n={N_CORPUS}, d={DIM}, {DTYPE}, "
+            f"nlist={NLIST}/nprobe={NPROBE}/m={PQ_M}): packed 4-bit "
+            f"ADC vs float ADC"
+        ),
+    )
+    text += (
+        f"\nfast-scan speedup over float ADC on the same codes: "
+        f"{packed_qps / adc4_qps:.2f}x "
+        f"(recall@1 {packed_recall:.3f} vs exact, {N_EXACT} queries)"
+        f"\nscan index: {memory['scan_index_bytes'] / 2**20:.1f} MiB "
+        f"packed vs {adc4_scan_bytes / 2**20:.1f} MiB unpacked "
+        f"({adc4_scan_bytes / memory['scan_index_bytes']:.0f}x), corpus "
+        f"{x.nbytes / 2**20:.1f} MiB, compression "
+        f"{memory['compression_ratio']:.1f}x"
+        f"\nsharded scan (shards={SHARDS}, inline) bit-identical to "
+        f"single-process scan over {N_QUERIES} queries"
+        f"\n{shard_note}"
+        f"\nprogressive curve max |exact - fastscan| error gap: "
+        f"{max_curve_gap:.4f} over {sub} streamed samples"
+    )
+    write_result("fastscan_scaling", text)
+
+    # Acceptance: recall, the 2x fast-scan floor, packing, convergence.
+    # The 2x margin is a property of scan-bound lists (the n >= 1M
+    # regime this benchmark records); scaled-down runs (REPRO_FASTSCAN_N)
+    # are dominated by per-query fixed costs shared by both paths, so
+    # they only assert the packed path never loses ground.
+    assert packed_recall >= 0.95
+    if N_CORPUS >= 500_000:
+        assert packed_qps >= 2.0 * adc4_qps
+    else:
+        assert packed_qps >= adc4_qps
+    assert adc4_scan_bytes >= 8.0 * memory["scan_index_bytes"]
+    assert max_curve_gap <= 0.02

@@ -68,6 +68,11 @@ class TransformationArm:
         stochastic arm step must use this stream (never a shared
         generator) so results stay independent of the execution
         schedule.
+    scan_executor:
+        Optional :class:`~repro.core.engine.ShardedScanExecutor`
+        forwarded to the evaluator's sharded inverted-list backend.
+        Process-local (never picklable), so it is only set when arms
+        run on the serial/thread execution backends.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class TransformationArm:
         store: EmbeddingStore | None = None,
         dtype=None,
         seed: SeedLike = None,
+        scan_executor=None,
     ):
         if not transform.fitted:
             raise DataValidationError(
@@ -106,6 +112,7 @@ class TransformationArm:
             knn_backend=knn_backend,
             knn_backend_options=knn_backend_options,
             dtype=dtype,
+            scan_executor=scan_executor,
         )
         self.sim_cost = transform.inference_cost(len(test_y))
         self.losses: list[float] = []
@@ -261,6 +268,7 @@ def build_arms(
     knn_backend_options: dict | None = None,
     store: EmbeddingStore | None = None,
     dtype=None,
+    scan_executor=None,
 ) -> list[TransformationArm]:
     """Fit each transform on the training split and wrap it in an arm.
 
@@ -288,6 +296,7 @@ def build_arms(
                 knn_backend_options=knn_backend_options,
                 store=store,
                 dtype=dtype,
+                scan_executor=scan_executor,
             )
         )
     return arms

@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="ivf_pq: candidates re-scored exactly per query; "
         "0 disables re-ranking (default: backend's 32)",
     )
+    study.add_argument(
+        "--pq-packed", action="store_true",
+        help="ivf_pq: pack two 4-bit PQ codes per byte and scan with "
+        "the uint8 fast-scan kernel (requires --pq-nbits 4)",
+    )
+    study.add_argument(
+        "--knn-shards", type=int, default=None,
+        help="ivf/ivf_pq: shard the inverted lists across this many "
+        "scan tasks (bit-identical results for any shard count)",
+    )
     _add_engine_args(study)
     _add_store_args(study)
     study.add_argument(
@@ -283,6 +293,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         "pq_dim": args.pq_dim,
         "nprobe": args.nprobe,
         "rerank": args.rerank,
+        "pq_packed": args.pq_packed,
+        "knn_shards": args.knn_shards,
     }
     if args.knn_backend in ("ivf", "ivf_pq"):
         # The quantizer backends are euclidean-only; pin the metric so

@@ -37,6 +37,7 @@ from repro.bandit.uniform import uniform_allocation
 from repro.core.aggregation import aggregate_min
 from repro.core.engine import (
     RoundScheduler,
+    ShardedScanExecutor,
     backend_names,
     make_backend,
     spawn_arm_streams,
@@ -102,6 +103,19 @@ class SnoopyConfig:
         default.  ``pq_dim`` enables the projection that keeps PQ
         subspaces small on wide embeddings.  See
         :class:`repro.knn.pq.IVFPQIndex`.
+    pq_packed:
+        Store PQ codes two-per-byte and scan with the uint8 fast-scan
+        kernel (requires ``pq_nbits=4`` and a positive re-rank depth to
+        take effect; see :mod:`repro.knn.pq`).  ``"ivf_pq"`` only.
+    knn_shards:
+        Shard the inverted lists of the "ivf"/"ivf_pq" backend across
+        that many scan tasks, merged bit-identically for any shard
+        count (see :mod:`repro.knn.sharding`).  With the "serial" or
+        "thread" execution backend the shards run on a dedicated
+        process pool (:class:`~repro.core.engine.ShardedScanExecutor`)
+        attached to the shared store; under the "process" backend the
+        arms already occupy the pool, so shard tasks run inline within
+        each worker (same results, intra-worker parallelism only).
     top_up_winner:
         After selection, feed the winner the rest of the training pool.
     extrapolate:
@@ -155,6 +169,8 @@ class SnoopyConfig:
     pq_dim: int | None = None
     nprobe: int | None = None
     rerank: int | None = None
+    pq_packed: bool = False
+    knn_shards: int | None = None
     top_up_winner: bool = True
     extrapolate: bool = True
     perfect_arm_name: str | None = None
@@ -203,7 +219,8 @@ class SnoopyConfig:
                 "set embedding_cache_bytes > 0"
             )
         resolve_dtype(self.compute_dtype)  # fail fast on an unknown dtype
-        for knob in ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank"):
+        for knob in ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank",
+                     "knn_shards"):
             value = getattr(self, knob)
             minimum = 0 if knob == "rerank" else 1
             if value is not None and value < minimum:
@@ -214,19 +231,28 @@ class SnoopyConfig:
         # the run would NOT use the configuration the caller believes
         # it benchmarked — so reject the combination outright.
         consumed = {
-            "ivf_pq": ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank"),
-            "ivf": ("nprobe",),
+            "ivf_pq": ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank",
+                       "knn_shards"),
+            "ivf": ("nprobe", "knn_shards"),
         }.get(self.knn_backend, ())
         stray = [
             knob
-            for knob in ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank")
+            for knob in ("pq_m", "pq_nbits", "pq_dim", "nprobe", "rerank",
+                         "knn_shards")
             if getattr(self, knob) is not None and knob not in consumed
         ]
         if stray:
             raise DataValidationError(
                 f"knob(s) {stray} have no effect with "
                 f"knn_backend={self.knn_backend!r}; set "
-                f"knn_backend='ivf_pq' (or 'ivf' for nprobe) or unset them"
+                f"knn_backend='ivf_pq' (or 'ivf' for nprobe/knn_shards) "
+                f"or unset them"
+            )
+        if self.pq_packed and self.knn_backend != "ivf_pq":
+            raise DataValidationError(
+                "pq_packed has no effect with "
+                f"knn_backend={self.knn_backend!r}; it requires "
+                "knn_backend='ivf_pq' (with pq_nbits=4)"
             )
 
     def knn_backend_options(self) -> dict:
@@ -242,11 +268,16 @@ class SnoopyConfig:
             knobs = ("nprobe",)
         else:
             return {}
-        return {
+        options = {
             knob: getattr(self, knob)
             for knob in knobs
             if getattr(self, knob) is not None
         }
+        if self.pq_packed:
+            options["pq_packed"] = True
+        if self.knn_shards is not None:
+            options["shards"] = self.knn_shards
+        return options
 
 
 @dataclass
@@ -267,6 +298,7 @@ class RunContext:
     order: np.ndarray | None = None
     arms: list[TransformationArm] = field(default_factory=list)
     scheduler: RoundScheduler | None = None
+    scan_executor: ShardedScanExecutor | None = None
     selection: SelectionResult | None = None
     estimates: dict[str, BEREstimate] = field(default_factory=dict)
     per_transform: list[TransformResult] = field(default_factory=list)
@@ -363,10 +395,12 @@ class Snoopy:
         try:
             self._allocate(ctx)
         finally:
-            # Exception-safe epilogue: shut down the worker pool and
+            # Exception-safe epilogue: shut down the worker pools and
             # unpin the shared training-pool segments even when an
             # allocation raises, so no /dev/shm bytes outlive the run.
             ctx.scheduler.close()
+            if ctx.scan_executor is not None:
+                ctx.scan_executor.close()
             if self.store is not None:
                 self.store.release_shared()
         self._aggregate(ctx)
@@ -421,12 +455,29 @@ class Snoopy:
         ctx.metric = self._resolve_metric(dataset)
         rng = ensure_rng(config.seed)
         ctx.order = rng.permutation(dataset.num_train)
-        if config.execution_backend == "process" and self.store is not None:
+        # A dedicated scan pool parallelizes the per-arm ANN scans when
+        # the arms themselves run in-process (serial/thread backends).
+        # Under the "process" backend the arms already occupy the pool —
+        # and the executor cannot cross a pickle boundary — so shard
+        # tasks run inline inside each worker instead (same results).
+        use_scan_pool = (
+            (config.knn_shards or 0) > 1
+            and config.execution_backend != "process"
+        )
+        if (
+            config.execution_backend == "process" or use_scan_pool
+        ) and self.store is not None:
             # Workers must attach hot blocks by name and share a spill
             # dir; enabling before arms are built lets even the test-set
             # embeddings land in shared segments.
             self.store.enable_sharing()
-        ctx.arms = self._build_arms(dataset, ctx.order, ctx.metric)
+        if use_scan_pool:
+            ctx.scan_executor = ShardedScanExecutor(
+                store=self.store, max_workers=config.max_workers
+            )
+        ctx.arms = self._build_arms(
+            dataset, ctx.order, ctx.metric, ctx.scan_executor
+        )
         backend = make_backend(config.execution_backend, config.max_workers)
         backend.bind_store(self.store)
         ctx.scheduler = RoundScheduler(backend)
@@ -438,7 +489,7 @@ class Snoopy:
         return "cosine" if dataset.modality == "text" else "euclidean"
 
     def _build_arms(
-        self, dataset, order: np.ndarray, metric: str
+        self, dataset, order: np.ndarray, metric: str, scan_executor=None
     ) -> list[TransformationArm]:
         # Build arms directly over the permuted pool (shared by all arms).
         train_x = dataset.train_x[order]
@@ -461,6 +512,7 @@ class Snoopy:
                     store=self.store,
                     dtype=self.config.compute_dtype,
                     seed=stream,
+                    scan_executor=scan_executor,
                 )
             )
         return arms

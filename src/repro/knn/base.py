@@ -163,6 +163,20 @@ def register_backend(name: str):
 #: other metric raises instead of silently degrading.
 _EUCLIDEAN_ONLY = frozenset({"ivf", "ivf_pq"})
 
+#: Backends whose inverted lists can be sharded across scan workers
+#: (``shards`` / ``scan_executor`` / ``store`` options).
+_SHARDABLE = frozenset({"ivf", "ivf_pq"})
+
+#: Sharding/fast-scan options only the listed backends accept;
+#: :func:`make_index` rejects them elsewhere with a targeted error
+#: instead of an opaque ``TypeError`` from the constructor.
+_SHARD_OPTIONS = {
+    "shards": _SHARDABLE,
+    "scan_executor": _SHARDABLE,
+    "store": _SHARDABLE,
+    "pq_packed": frozenset({"ivf_pq"}),
+}
+
 
 def _load_default_backends() -> None:
     # Imported lazily so base <-> backend modules never cycle.
@@ -194,9 +208,11 @@ def make_index(
     kwargs:
         Forwarded to the backend constructor (e.g. ``block_size`` for
         the exact backends, ``nlist``/``nprobe``/``seed`` for IVF,
-        additionally ``pq_m``/``pq_nbits``/``rerank`` for IVF-PQ, and
-        ``dtype`` — "float32"/"float64" compute precision — for all of
-        them).
+        additionally ``pq_m``/``pq_nbits``/``rerank``/``pq_packed`` for
+        IVF-PQ, ``dtype`` — "float32"/"float64" compute precision — for
+        all of them, and the sharded-scan options ``shards`` /
+        ``scan_executor`` / ``store`` for the inverted-list backends
+        "ivf" and "ivf_pq").
     """
     _load_default_backends()
     name = _BACKEND_ALIASES.get(backend, backend)
@@ -206,6 +222,13 @@ def make_index(
             f"unknown kNN backend {backend!r}; "
             f"available backends: {available_backends()}"
         )
+    for option, accepted_by in _SHARD_OPTIONS.items():
+        if option in kwargs and name not in accepted_by:
+            raise DataValidationError(
+                f"option {option!r} is only supported by the "
+                f"{tuple(sorted(accepted_by))} backend(s), "
+                f"not {backend!r}"
+            )
     if name in _EUCLIDEAN_ONLY:
         if metric != "euclidean":
             raise DataValidationError(

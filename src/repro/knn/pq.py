@@ -43,9 +43,41 @@ middle term is query-independent (folded into a per-point constant at
 encode time), and only the last term — one ``(m, ksub)`` table of
 query-codeword dot products per query, shared across *all* probed
 lists — is paid at search time.
+
+Two further tiers ride on top of that scan (the FAISS fast-scan idea,
+Johnson et al. 2019, adapted to numpy's gather primitives):
+
+- **Packed fast-scan** (``pq_packed=True``, requires ``pq_nbits=4``):
+  codes are stored two per byte in a ``((m+1)//2, capacity)`` layout,
+  and per-(query, list) lookup tables are quantized to uint8 with a
+  per-query scale/bias.  Adjacent subspace tables are combined into one
+  256-entry uint16 table indexed directly by the packed byte, so each
+  *pair* of subspaces costs a single contiguous row-take — half the
+  gathers of the float path on a table that is 8x smaller, with a
+  uint16 accumulator instead of a float one.  Selection is pruned,
+  not partitioned: each query carries a sorted running top-``t`` pool
+  whose worst estimate maps (exactly, per list — estimates are affine
+  in the accumulator) to an integer bound, so a scanned list costs one
+  vectorized uint16 compare and only the few survivors are converted
+  back to float estimates and merged under the (estimate, index)
+  total order.  The exact re-rank stage then restores true distances,
+  which is why the packed scan requires ``rerank > 0`` (with
+  ``rerank == 0`` the index falls back bit-compatibly to the float
+  ADC scan, whose estimates are reportable).
+- **Sharded scanning** (``shards > 1`` or a
+  :class:`~repro.core.engine.ShardedScanExecutor`): inverted lists are
+  partitioned round-robin (list ``c`` belongs to shard ``c % shards``)
+  and each query batch becomes one scan task per shard, with list
+  payloads published as shared-memory blocks through the
+  :class:`~repro.transforms.store.EmbeddingStore` so process workers
+  scan them zero-copy.  See :mod:`repro.knn.sharding` for why results
+  are bit-identical for any shard count, including 1.
 """
 
 from __future__ import annotations
+
+import os
+import weakref
 
 import numpy as np
 
@@ -53,6 +85,17 @@ from repro.exceptions import DataValidationError
 from repro.knn.base import KNNIndex, register_backend
 from repro.knn.kernels import iter_blocks, make_kernel, resolve_dtype
 from repro.knn.kmeans import KMeans
+from repro.knn.sharding import (
+    SCAN_ROW_BLOCK,
+    merge_shard_pools,
+    owned_clusters,
+    pair_slots,
+    probe_pairs,
+    publish_payload,
+    resolve_payload,
+    select_pool_topk,
+    unpublish_owner,
+)
 from repro.rng import SeedLike, ensure_rng
 
 #: Per-chunk ADC working-set target, in compute-dtype entries.  The
@@ -65,6 +108,223 @@ _SCAN_TARGET = 100_000
 #: iterated argmin sweeps (branch-free SIMD reductions) instead of
 #: argpartition — same trade-off as the IVF-Flat scan.
 _ITER_ARGMIN_MAX = 8
+
+#: Per-chunk working-set target for the packed fast-scan, in uint16
+#: accumulator entries.  The packed tier prefers much larger chunks
+#: than the float scan: its selection is a threshold compare instead of
+#: a per-list argpartition, so per-segment Python dispatch — not cache
+#: residency — is the marginal cost, and wide chunks amortize it while
+#: the uint16 accumulator keeps the traffic half the float scan's.
+_FASTSCAN_TARGET = 1_600_000
+
+
+def pack_codes_t(codes_t: np.ndarray) -> np.ndarray:
+    """Pack a transposed 4-bit code matrix two codes per byte.
+
+    ``codes_t`` has shape ``(m, n)`` (subspace-major, the inverted-list
+    scan layout); the result has shape ``((m + 1) // 2, n)`` uint8 with
+    byte ``t`` holding ``codes_t[2t] | codes_t[2t+1] << 4``.  An odd
+    trailing subspace occupies the low nibble with a zero high nibble.
+    Every code must be < 16.
+    """
+    codes_t = np.asarray(codes_t)
+    m, n = codes_t.shape
+    lo = codes_t[0::2].astype(np.uint8)
+    packed = lo.copy()
+    hi = codes_t[1::2].astype(np.uint8)
+    packed[: len(hi)] |= hi << 4
+    return np.ascontiguousarray(packed)
+
+
+def unpack_codes_t(packed: np.ndarray, m: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes_t`: ``(m, n)`` intp codes.
+
+    intp output feeds ``np.take`` directly — the float ADC fallback of
+    a packed index unpacks each probed list on the fly through this.
+    """
+    packed = np.asarray(packed)
+    out = np.empty((m, packed.shape[1]), dtype=np.intp)
+    out[0::2] = packed & np.uint8(0x0F)
+    out[1::2] = packed[: m // 2] >> 4
+    return out
+
+
+def _quantize_tables(
+    tables: np.ndarray, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize per-(query, list) ADC tables to uint8 for the fast scan.
+
+    ``tables`` is ``(r, m, ksub)`` float; returns ``(qt, scale, bias)``
+    where ``qt`` is ``(r, m, 16)`` uint8 (zero-padded past ``ksub``),
+    and for every query row ``est ≈ scale * sum_j qt[j, code_j] +
+    bias`` with ``bias = sum_j min_c tables[j, c]`` and a per-row scale
+    spanning the largest shifted entry over 255 quantization steps.
+    The approximation only *ranks* candidates — survivors are re-scored
+    exactly — so 8 bits of per-entry resolution suffice.
+    """
+    r, m, ksub = tables.shape
+    mins = tables.min(axis=2)
+    bias = mins.sum(axis=1)
+    shifted = tables - mins[:, :, None]
+    scale = shifted.max(axis=(1, 2)) / dtype.type(255.0)
+    zero = scale <= 0
+    if np.any(zero):
+        scale = np.where(zero, dtype.type(1.0), scale)
+    qt = np.zeros((r, m, 16), dtype=np.uint8)
+    np.floor_divide(
+        shifted, scale[:, None, None], out=shifted
+    )
+    qt[:, :, :ksub] = np.minimum(shifted, dtype.type(255.0)).astype(np.uint8)
+    return qt, scale, bias
+
+
+def _packed_accumulate(qt: np.ndarray, packed: np.ndarray) -> np.ndarray:
+    """Accumulate quantized tables over packed codes: ``(r, size)`` uint16.
+
+    The fast-scan inner loop: adjacent subspace tables are combined
+    into one 256-entry uint16 table indexed by the raw packed byte
+    (``hi * 16 + lo``), so each byte row of the code matrix costs a
+    single contiguous ``np.take`` — two subspaces per gather.  All pair
+    tables are built in one broadcast (rather than per byte row) and
+    transposed together into gather layout.  With entries <= 255 and
+    ``m <= 256`` subspaces the uint16 accumulator cannot overflow
+    (bound ``255 * m``).
+    """
+    r, m, _ = qt.shape
+    size = packed.shape[1]
+    qt16 = qt.astype(np.uint16)
+    half = m // 2
+    if half:
+        pairs = (
+            qt16[:, 1 : 2 * half : 2, :, None]
+            + qt16[:, 0 : 2 * half : 2, None, :]
+        ).reshape(r, half, 256)
+        tables = np.ascontiguousarray(pairs.transpose(1, 2, 0))
+    acc = np.empty((size, r), dtype=np.uint16)
+    tmp = np.empty((size, r), dtype=np.uint16)
+    for byte_row in range(packed.shape[0]):
+        if byte_row < half:
+            table = tables[byte_row]
+        else:  # odd trailing subspace: low nibble only
+            table = np.ascontiguousarray(qt16[:, m - 1, :].T)
+        if byte_row == 0:
+            np.take(table, packed[0], axis=0, out=acc)
+        else:
+            np.take(table, packed[byte_row], axis=0, out=tmp)
+            acc += tmp
+    return np.ascontiguousarray(acc.T)
+
+
+def _keep_smallest(
+    est: np.ndarray, keep: int, sentinel
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row smallest-``keep`` selection (may overwrite ``est``).
+
+    Same strategy ladder as the flat scan: full lists pass through,
+    tiny keeps use iterated argmin sweeps, the rest argpartition.
+    Selection is deterministic for identical inputs, which is all the
+    sharded tier needs — per-list inputs never depend on shard count.
+    """
+    r, size = est.shape
+    if keep >= size:
+        return np.broadcast_to(np.arange(size), est.shape), est
+    if keep <= _ITER_ARGMIN_MAX:
+        rr = np.arange(r)
+        local = np.empty((r, keep), dtype=np.int64)
+        local_est = np.empty((r, keep), dtype=est.dtype)
+        for i in range(keep):
+            best = np.argmin(est, axis=1)
+            local[:, i] = best
+            local_est[:, i] = est[rr, best]
+            if i + 1 < keep:
+                est[rr, best] = sentinel
+        return local, local_est
+    local = np.argpartition(est, kth=keep - 1, axis=1)[:, :keep]
+    return local, np.take_along_axis(est, local, axis=1)
+
+
+def _packed_scan_update(
+    qdot_rows: np.ndarray,
+    precomp_list: np.ndarray,
+    centroid_col: np.ndarray,
+    packed: np.ndarray,
+    members: np.ndarray,
+    local_rows: np.ndarray,
+    top_est: np.ndarray,
+    top_idx: np.ndarray,
+    t: int,
+    dtype: np.dtype,
+) -> None:
+    """Fast-scan one (query rows, list) segment into the running pools.
+
+    The packed tier's replacement for pool-scatter-then-select: each
+    query keeps a sorted running top-``t`` ``(estimate, index)`` pool
+    (``top_est``/``top_idx``, updated in place), and every list scan
+    prunes against the pool's current worst estimate *before* any
+    selection work.  Because estimates are an exact affine function of
+    the uint16 accumulator for a given (query, list) — ``est = acc *
+    scale + offset`` with ``scale > 0`` — the float threshold maps to
+    an integer accumulator bound, so pruning is a single vectorized
+    uint16 compare over the list.  Survivors are folded in under the
+    (estimate, index) total order via :func:`select_pool_topk`.
+
+    Every reduction here is *exact* with respect to that total order:
+    pruned entries have estimates strictly above the pool's t-th best
+    (the bound carries a +1 slack so float rounding can only keep
+    extra candidates, never drop a winner), and merges are full
+    lexicographic selections.  The final pools therefore do not depend
+    on list visit order, query chunking, or how lists are partitioned
+    across shards — the bit-identity argument of
+    :mod:`repro.knn.sharding` for the packed tier.
+    """
+    two = dtype.type(2.0)
+    r = len(local_rows)
+    size = packed.shape[1]
+    keep = min(t, size)
+    tables = precomp_list[None, :, :] - two * qdot_rows
+    qt, scale, bias = _quantize_tables(tables, dtype)
+    acc16 = _packed_accumulate(qt, packed)  # (r, size)
+    offset = bias + centroid_col
+    tau = top_est[local_rows, t - 1]
+    # Accumulator-domain threshold (+1 slack for float rounding; inf
+    # tau — pool not yet full — keeps everything).
+    with np.errstate(invalid="ignore"):
+        a_lim = np.floor(
+            (tau.astype(np.float64) - offset) / scale
+        ) + 1.0
+    hi = np.iinfo(np.uint16).max
+    lim = np.where(
+        np.isfinite(a_lim), np.clip(a_lim, 0, hi), hi
+    ).astype(np.uint16)
+    mask = acc16 <= lim[:, None]
+    counts = np.count_nonzero(mask, axis=1)
+    # Rows whose threshold is still loose (early lists) fall back to a
+    # value-partition bound at the keep-th smallest accumulator: ties
+    # at the bound are kept, so the reduction stays exact.
+    big = counts > max(4 * keep, 64)
+    if np.any(big):
+        bound = np.partition(acc16[big], keep - 1, axis=1)[:, keep - 1]
+        mask[big] = acc16[big] <= np.minimum(lim[big], bound)[:, None]
+    flat = np.flatnonzero(mask.ravel())
+    if len(flat) == 0:
+        return
+    rows_c = flat // size
+    cols_c = flat - rows_c * size
+    accv = acc16[rows_c, cols_c]
+    estv = accv.astype(dtype) * scale[rows_c] + offset[rows_c]
+    counts = np.bincount(rows_c, minlength=r)
+    width = int(counts.max())
+    starts = np.searchsorted(rows_c, np.arange(r))
+    rank = np.arange(len(rows_c)) - starts[rows_c]
+    comb_est = np.full((r, t + width), np.inf, dtype=dtype)
+    comb_idx = np.full((r, t + width), -1, dtype=np.int64)
+    comb_est[:, :t] = top_est[local_rows]
+    comb_idx[:, :t] = top_idx[local_rows]
+    comb_est[rows_c, t + rank] = estv
+    comb_idx[rows_c, t + rank] = members[cols_c]
+    new_est, new_idx = select_pool_topk(comb_est, comb_idx, t)
+    top_est[local_rows] = new_est
+    top_idx[local_rows] = new_idx
 
 
 def _effective_m(dim: int, requested: int) -> int:
@@ -90,8 +350,10 @@ class ProductQuantizer:
         divisor of the data dimensionality not exceeding the request and
         persists the effective value (codes are one uint8 per subspace).
     nbits:
-        Bits per code, 1..8; the per-subspace codebook holds
-        ``2**nbits`` words (clamped to the training-set size).
+        Bits per code, 4 or 8; the per-subspace codebook holds
+        ``2**nbits`` words (clamped to the training-set size).  Only 4
+        admits the packed fast-scan layout (two codes per byte); 8
+        maximizes codebook resolution on the unpacked float ADC path.
     seed:
         Seeds the per-subspace k-means (each subspace gets its own
         deterministic child stream).
@@ -120,9 +382,12 @@ class ProductQuantizer:
     ):
         if m < 1:
             raise DataValidationError(f"m must be >= 1, got {m}")
-        if not 1 <= nbits <= 8:
+        if nbits not in (4, 8):
             raise DataValidationError(
-                f"nbits must be in [1, 8] (uint8 codes), got {nbits}"
+                f"nbits must be 4 (16-word codebooks; two codes pack per "
+                f"byte, enabling the packed fast-scan) or 8 (256-word "
+                f"codebooks, one code per byte, unpacked float ADC only), "
+                f"got {nbits}"
             )
         self._requested_m = m
         self.m = m
@@ -308,6 +573,32 @@ class IVFPQIndex(KNNIndex):
     rerank:
         Candidates re-scored exactly per query; ``0`` disables the
         re-rank stage and reports ADC-estimated distances.
+    pq_packed:
+        Store codes packed two per byte and scan with quantized uint8
+        lookup tables (the fast-scan path; see the module docstring).
+        Requires ``pq_nbits=4``.  The packed scan only *ranks* — it
+        needs the exact re-rank stage to report distances, so with
+        ``rerank=0`` the index transparently falls back to the float
+        ADC scan (unpacking lists on the fly), bit-compatible with an
+        unpacked index.
+    shards:
+        Inverted-list shards.  List ``c`` belongs to shard
+        ``c % shards``; each query batch scans shards independently
+        (through ``scan_executor`` when given, inline otherwise) and
+        merges the per-shard pools under the deterministic
+        ``(estimate, index)`` order — results are bit-identical for
+        any shard count, including 1.
+    scan_executor:
+        Optional :class:`~repro.core.engine.ShardedScanExecutor`
+        running shard tasks on worker processes.  Without one, shard
+        tasks run inline (useful for determinism tests; no speedup).
+    store:
+        Optional sharing-enabled
+        :class:`~repro.transforms.store.EmbeddingStore`; shard payloads
+        are published into its hot tier as
+        :class:`~repro.transforms.store.SharedArrayRef` blocks so
+        executor workers scan them zero-copy.  Without one, payloads
+        ship by pickle (correct, slower).
     refresh_factor:
         Codebook refresh policy for :meth:`partial_fit`: once the corpus
         reaches ``refresh_factor`` times the size it was last trained
@@ -344,6 +635,10 @@ class IVFPQIndex(KNNIndex):
         pq_nbits: int = 8,
         pq_dim: int | None = None,
         rerank: int = 32,
+        pq_packed: bool = False,
+        shards: int = 1,
+        scan_executor=None,
+        store=None,
         refresh_factor: float | None = 2.0,
         seed: SeedLike = 0,
         block_size: int = 2048,
@@ -357,6 +652,14 @@ class IVFPQIndex(KNNIndex):
             raise DataValidationError("rerank must be >= 0")
         if pq_dim is not None and pq_dim < 1:
             raise DataValidationError("pq_dim must be >= 1")
+        if shards < 1:
+            raise DataValidationError(f"shards must be >= 1, got {shards}")
+        if pq_packed and pq_nbits != 4:
+            raise DataValidationError(
+                f"pq_packed requires pq_nbits=4 (two 4-bit codes per "
+                f"byte); pq_nbits={pq_nbits} stores one code per byte "
+                f"and only supports the unpacked float ADC scan"
+            )
         self._requested_nlist = nlist
         self.nlist = nlist
         self.nprobe = min(nprobe, nlist)
@@ -365,6 +668,8 @@ class IVFPQIndex(KNNIndex):
         self.pq_nbits = pq_nbits
         self.pq_dim = pq_dim
         self.rerank = rerank
+        self.pq_packed = bool(pq_packed)
+        self.shards = int(shards)
         self.refresh_factor = refresh_factor
         self.block_size = block_size
         self.dtype = dtype
@@ -372,6 +677,13 @@ class IVFPQIndex(KNNIndex):
         self._seed = seed
         self.pq = ProductQuantizer(pq_m, pq_nbits, seed=seed, dtype=dtype)
         self.num_refreshes = 0
+        self._scan_executor = scan_executor
+        self._store = store
+        # Publication identity: one owner string per index instance, so
+        # concurrent indexes sharing one store never collide, plus a
+        # finalizer releasing the publications when the index dies.
+        self._share_owner = f"listshard-{os.urandom(6).hex()}"
+        self._unpublish_finalizer = None
         self._reset_storage()
 
     def _reset_storage(self) -> None:
@@ -392,6 +704,14 @@ class IVFPQIndex(KNNIndex):
         self._list_sizes_arr: np.ndarray | None = None
         self._list_buffers: list[np.ndarray] = []
         self._list_codes_buffers: list[np.ndarray] = []
+        # Packed layout replaces the intp buffers entirely: 16x smaller
+        # ((m+1)//2 uint8 bytes per point vs m intp words).
+        self._list_packed_buffers: list[np.ndarray] = []
+        # Shard content versions: a shard republishes its payload only
+        # when an append or retrain touched one of its lists.
+        self._version_counter = 0
+        self._shard_versions = np.zeros(max(1, self.shards), dtype=np.int64)
+        self._payload_cache: dict[int, tuple[int, dict]] = {}
         self._coarse: KMeans | None = None
         self._centroid_kernel = None
         self._corpus_kernel = None
@@ -444,11 +764,12 @@ class IVFPQIndex(KNNIndex):
         codebooks = float(self.pq.codebooks.nbytes + self._precomp.nbytes)
         centroids = float(self._centroid_kernel.bound.nbytes)
         base = float(self._buf_base[: self._size].nbytes)
-        scan = float(
-            self.pq.m
-            * np.dtype(np.intp).itemsize
-            * int(self._list_sizes_arr.sum())
+        bytes_per_point = (
+            (self.pq.m + 1) // 2  # packed: two 4-bit codes per byte
+            if self.pq_packed
+            else self.pq.m * np.dtype(np.intp).itemsize
         )
+        scan = float(bytes_per_point * int(self._list_sizes_arr.sum()))
         if self._projection is not None:
             codebooks += float(self._projection.nbytes)
         compressed = codes + codebooks + centroids + base + scan
@@ -612,12 +933,21 @@ class IVFPQIndex(KNNIndex):
             [len(members) for members in members_by_list], dtype=np.int64
         )
         self._list_buffers = members_by_list
-        self._list_codes_buffers = [
-            np.ascontiguousarray(codes[members].T, dtype=np.intp)
-            for members in members_by_list
-        ]
+        if self.pq_packed:
+            self._list_codes_buffers = []
+            self._list_packed_buffers = [
+                pack_codes_t(codes[members].T)
+                for members in members_by_list
+            ]
+        else:
+            self._list_codes_buffers = [
+                np.ascontiguousarray(codes[members].T, dtype=np.intp)
+                for members in members_by_list
+            ]
+            self._list_packed_buffers = []
         self._trained_size = self._size
         self._corpus_kernel = None
+        self._invalidate_shards()
 
     def _fit_projection(self, residuals: np.ndarray) -> np.ndarray | None:
         """Orthonormal ``(d, pq_dim)`` basis via a randomized range finder.
@@ -668,13 +998,18 @@ class IVFPQIndex(KNNIndex):
         self._buf_codes[start:stop] = codes
         self._buf_base[start:stop] = self._adc_base(assignment, codes)
         new_ids = np.arange(start, stop)
-        for cluster in np.unique(assignment):
+        touched = np.unique(assignment)
+        for cluster in touched:
             picked = assignment == cluster
             self._append_to_list(
                 int(cluster),
                 new_ids[picked],
                 np.ascontiguousarray(codes[picked].T, dtype=np.intp),
             )
+        # Appends route to the owning shard: only the shards whose
+        # lists grew bump their version (and so republish their
+        # payload); untouched shards keep serving the published blocks.
+        self._invalidate_shards(touched)
 
     def _append_to_list(
         self, cluster: int, member_ids: np.ndarray, codes_t: np.ndarray
@@ -683,19 +1018,48 @@ class IVFPQIndex(KNNIndex):
         size = int(self._list_sizes_arr[cluster])
         needed = size + len(member_ids)
         members = self._list_buffers[cluster]
+        code_rows = (
+            (self.pq.m + 1) // 2 if self.pq_packed else self.pq.m
+        )
+        code_buffers = (
+            self._list_packed_buffers
+            if self.pq_packed
+            else self._list_codes_buffers
+        )
         if needed > len(members):
             capacity = max(needed, 2 * len(members))
             grown = np.empty(capacity, dtype=np.int64)
             grown[:size] = members[:size]
             self._list_buffers[cluster] = members = grown
-            grown_codes = np.empty((self.pq.m, capacity), dtype=np.intp)
-            grown_codes[:, :size] = self._list_codes_buffers[cluster][
-                :, :size
-            ]
-            self._list_codes_buffers[cluster] = grown_codes
+            grown_codes = np.empty(
+                (code_rows, capacity), dtype=code_buffers[cluster].dtype
+            )
+            grown_codes[:, :size] = code_buffers[cluster][:, :size]
+            code_buffers[cluster] = grown_codes
         members[size:needed] = member_ids
-        self._list_codes_buffers[cluster][:, size:needed] = codes_t
+        if self.pq_packed:
+            code_buffers[cluster][:, size:needed] = pack_codes_t(codes_t)
+        else:
+            code_buffers[cluster][:, size:needed] = codes_t
         self._list_sizes_arr[cluster] = needed
+
+    def _invalidate_shards(self, clusters: np.ndarray | None = None) -> None:
+        """Bump shard versions after content changed (all, or owners of
+        ``clusters``); a full invalidation also drops stale publications
+        eagerly (shard geometry may have changed across a retrain)."""
+        self._version_counter += 1
+        if clusters is None:
+            self._shard_versions = np.full(
+                max(1, self.shards), self._version_counter, dtype=np.int64
+            )
+            self._payload_cache.clear()
+            if self._store is not None:
+                self._store.unpublish(self._share_owner)
+        else:
+            shards = np.unique(np.asarray(clusters) % max(1, self.shards))
+            self._shard_versions[shards] = self._version_counter
+            for shard in shards:
+                self._payload_cache.pop(int(shard), None)
 
     # ------------------------------------------------------------------
     # Search
@@ -747,6 +1111,10 @@ class IVFPQIndex(KNNIndex):
         sub = self._to_code_space(queries).reshape(
             n, self.pq.m, self.pq.dsub
         )
+        if self._sharded:
+            return self._sharded_search(
+                queries, sub, centroid_cmp, probe_order, depth, k
+            )
         for probes in np.unique(depth):
             rows = np.flatnonzero(depth == probes)
             dist, idx = self._adc_probed(
@@ -779,6 +1147,10 @@ class IVFPQIndex(KNNIndex):
         ``t = max(k, rerank)`` entries land in an inf-padded semifinal
         pool per query.
         """
+        if self._use_packed_scan:
+            return self._packed_probed(
+                queries, sub, centroid_cmp, probe_clusters, k, list_sizes
+            )
         g = len(queries)
         p = probe_clusters.shape[1]
         t = max(k, min(self.rerank, self._size)) if self.rerank else k
@@ -812,13 +1184,20 @@ class IVFPQIndex(KNNIndex):
                 members = self._list_buffers[cluster][:size]
                 local_rows = flat_rows[segment]
                 r = len(local_rows)
-                codes_t = self._list_codes_buffers[cluster][:, :size]
-                # est = |q - C|^2 + base - 2 sum_j qdot[q, j, code_j].
-                # Accumulated transposed — (size, r) — so each subspace
-                # is ONE contiguous row-take from a (ksub, r) table:
-                # the per-candidate cost is m row copies, independent
-                # of the vector dimensionality.
-                seg_qdot = qdot[local_rows]  # (r, m, ksub) row gather
+                keep = min(t, size)
+                if self.pq_packed:
+                    codes_t = unpack_codes_t(
+                        self._list_packed_buffers[cluster][:, :size],
+                        self.pq.m,
+                    )
+                else:
+                    codes_t = self._list_codes_buffers[cluster][:, :size]
+                # est = |q - C|^2 + base - 2 sum_j qdot[q, j, code].
+                # Accumulated transposed — (size, r) — so each
+                # subspace is ONE contiguous row-take from a
+                # (ksub, r) table: the per-candidate cost is m row
+                # copies, independent of the vector dimensionality.
+                seg_qdot = qdot[local_rows]  # (r, m, ksub) gather
                 acc = np.empty((size, r), dtype=self._dtype)
                 tmp = np.empty((size, r), dtype=self._dtype)
                 for j in range(self.pq.m):
@@ -834,47 +1213,236 @@ class IVFPQIndex(KNNIndex):
                 est += centroid_cmp[block][
                     local_rows, cluster
                 ][:, None]
-                keep = min(t, size)
-                if keep == size:
-                    local = np.broadcast_to(np.arange(size), est.shape)
-                    local_est = est
-                elif keep <= _ITER_ARGMIN_MAX:
-                    rr = np.arange(r)
-                    local = np.empty((r, keep), dtype=np.int64)
-                    local_est = np.empty((r, keep), dtype=self._dtype)
-                    for i in range(keep):
-                        best = np.argmin(est, axis=1)
-                        local[:, i] = best
-                        local_est[:, i] = est[rr, best]
-                        if i + 1 < keep:
-                            est[rr, best] = np.inf
-                else:
-                    local = np.argpartition(est, kth=keep - 1, axis=1)[
-                        :, :keep
-                    ]
-                    local_est = np.take_along_axis(est, local, axis=1)
+                local, local_est = _keep_smallest(est, keep, np.inf)
                 slots = flat_slots[segment][:, None] + np.arange(keep)
                 pool_est[local_rows[:, None], slots] = local_est
                 pool_idx[local_rows[:, None], slots] = members[local]
-            keep_t = min(t, pool_est.shape[1])
-            part = np.argpartition(pool_est, kth=keep_t - 1, axis=1)[
-                :, :keep_t
-            ]
-            part_est = np.take_along_axis(pool_est, part, axis=1)
-            part_idx = np.take_along_axis(pool_idx, part, axis=1)
+            # Semifinal selection under the sharded tier's (estimate,
+            # index) total order — the same rule `select_pool_topk`
+            # applies in shard pools and the coordinator merge, so the
+            # single-process path stays bit-identical to any shard
+            # count even when duplicate points tie exactly.
+            part_est, part_idx = select_pool_topk(pool_est, pool_idx, t)
             if self.rerank:
                 dist, idx = self._exact_rerank(
                     queries[block], part_idx, k
                 )
             else:
-                order = np.argsort(part_est, axis=1)[:, :k]
-                est_k = np.take_along_axis(part_est, order, axis=1)
+                est_k = part_est[:, :k]
+                idx = part_idx[:, :k]
                 np.maximum(est_k, self._dtype.type(0.0), out=est_k)
                 dist = np.sqrt(est_k, dtype=np.float64)
-                idx = np.take_along_axis(part_idx, order, axis=1)
             out_dist[block] = dist
             out_idx[block] = idx
         return out_dist, out_idx
+
+    def _packed_probed(
+        self,
+        queries: np.ndarray,
+        sub: np.ndarray,
+        centroid_cmp: np.ndarray,
+        probe_clusters: np.ndarray,
+        k: int,
+        list_sizes: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pruned packed fast-scan of the probed lists + exact re-rank.
+
+        Same cluster-major regrouping as the float scan, but instead of
+        scattering per-list top selections into an inf-padded pool,
+        every query carries a sorted running top-``t`` pool and each
+        list is pruned against it (:func:`_packed_scan_update`): after
+        the first couple of lists the threshold is tight and a list
+        costs its uint16 accumulation plus one vectorized compare —
+        no per-list argpartition.  Chunks are much wider than the
+        float scan's (:data:`_FASTSCAN_TARGET`) since per-segment
+        dispatch, not cache residency, dominates here.
+
+        Only called with ``_use_packed_scan`` (which implies
+        ``rerank > 0``), so the survivors always go through the exact
+        re-rank and the quantized estimates are never reported.
+        """
+        g = len(queries)
+        p = probe_clusters.shape[1]
+        t = max(k, min(self.rerank, self._size))
+        out_dist = np.empty((g, k))
+        out_idx = np.empty((g, k), dtype=np.int64)
+        max_size = int(list_sizes.max()) if len(list_sizes) else 1
+        chunk = max(16, min(g, _FASTSCAN_TARGET // max(1, max_size)))
+        for block in iter_blocks(g, chunk):
+            b = block.stop - block.start
+            clusters = probe_clusters[block]
+            qdot = np.einsum(
+                "nmd,mkd->nmk", sub[block], self.pq.codebooks
+            )
+            top_est = np.full((b, t), np.inf, dtype=self._dtype)
+            top_idx = np.full((b, t), -1, dtype=np.int64)
+            flat_clusters = clusters.ravel()
+            flat_rows = np.repeat(np.arange(b), p)
+            by_cluster = np.argsort(flat_clusters, kind="stable")
+            boundaries = np.flatnonzero(
+                np.diff(flat_clusters[by_cluster])
+            ) + 1
+            cmp_block = centroid_cmp[block]
+            for segment in np.split(by_cluster, boundaries):
+                cluster = int(flat_clusters[segment[0]])
+                size = int(list_sizes[cluster])
+                if size == 0:
+                    continue
+                local_rows = flat_rows[segment]
+                _packed_scan_update(
+                    qdot[local_rows],
+                    self._precomp[cluster],
+                    cmp_block[local_rows, cluster],
+                    self._list_packed_buffers[cluster][:, :size],
+                    self._list_buffers[cluster][:size],
+                    local_rows,
+                    top_est,
+                    top_idx,
+                    t,
+                    self._dtype,
+                )
+            dist, idx = self._exact_rerank(queries[block], top_idx, k)
+            out_dist[block] = dist
+            out_idx[block] = idx
+        return out_dist, out_idx
+
+    # ------------------------------------------------------------------
+    # Sharded scanning
+    # ------------------------------------------------------------------
+
+    @property
+    def _sharded(self) -> bool:
+        """Route through the shard scan (even for 1 shard with an
+        executor, so executor transport is exercised identically)."""
+        return self.shards > 1 or self._scan_executor is not None
+
+    @property
+    def _use_packed_scan(self) -> bool:
+        """Packed fast-scan applies: packed storage, a re-rank stage to
+        absorb quantization (``rerank=0`` must report float ADC
+        estimates), and the uint16 accumulator's ``m <= 256`` bound."""
+        return self.pq_packed and self.rerank > 0 and self.pq.m <= 256
+
+    def _sharded_search(
+        self,
+        queries: np.ndarray,
+        sub: np.ndarray,
+        centroid_cmp: np.ndarray,
+        probe_order: np.ndarray,
+        depth: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fan the probed lists out per owning shard and merge.
+
+        Each task scans whole lists over the *same* (query, list) row
+        sets any shard count would produce, returns its local top-``t``
+        pool under the (estimate, index) total order, and the merge
+        applies the same order — hence bit-identical results for any
+        shard count (see :mod:`repro.knn.sharding`).
+        """
+        t = max(k, min(self.rerank, self._size)) if self.rerank else k
+        rows, clusters = probe_pairs(probe_order, depth)
+        tasks = []
+        for shard in range(self.shards):
+            mask = clusters % self.shards == shard
+            if not mask.any():
+                continue
+            # Query-side arrays are sliced to the shard's owned columns
+            # — pure copies of shard-count-independent values, so the
+            # arithmetic downstream is unaffected.
+            owned = owned_clusters(self.nlist, shard, self.shards)
+            tasks.append({
+                "payload": self._shard_payload(shard),
+                "store": self._store,
+                "owner": self._share_owner,
+                "sub": sub,
+                "centroid_cmp": np.ascontiguousarray(
+                    centroid_cmp[:, owned]
+                ),
+                "rows": rows[mask],
+                "clusters": clusters[mask],
+                "params": {
+                    "n": len(queries),
+                    "m": self.pq.m,
+                    "t": t,
+                    "dtype": self.dtype,
+                    "packed": self._use_packed_scan,
+                    "codebooks": self.pq.codebooks,
+                    "precomp": np.ascontiguousarray(self._precomp[owned]),
+                },
+            })
+        if self._scan_executor is not None:
+            pools = self._scan_executor.map(_pq_shard_scan, tasks)
+        else:
+            pools = [_pq_shard_scan(task) for task in tasks]
+        est, idx = merge_shard_pools(pools, t)
+        if self.rerank:
+            return self._exact_rerank(queries, idx, k)
+        est_k, idx_k = select_pool_topk(est, idx, k)
+        np.maximum(est_k, self._dtype.type(0.0), out=est_k)
+        return np.sqrt(est_k, dtype=np.float64), idx_k
+
+    def _shard_payload(self, shard: int) -> dict:
+        """List payload of one shard (owned-list-major concatenation).
+
+        Cached per shard version, published through the store when one
+        is attached — so repeated query batches reuse both the arrays
+        and the shared segments, and appends republish only the shards
+        they touched.
+        """
+        version = int(self._shard_versions[shard])
+        cached = self._payload_cache.get(shard)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        owned = owned_clusters(self.nlist, shard, self.shards)
+        sizes = self._list_sizes_arr[owned]
+        starts = np.zeros(len(owned), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        total = int(sizes.sum())
+        members = np.empty(total, dtype=np.int64)
+        base = np.empty(total, dtype=self._dtype)
+        code_rows = (
+            (self.pq.m + 1) // 2 if self.pq_packed else self.pq.m
+        )
+        code_dtype = np.uint8 if self.pq_packed else np.intp
+        codes = np.empty((code_rows, total), dtype=code_dtype)
+        buffers = (
+            self._list_packed_buffers
+            if self.pq_packed
+            else self._list_codes_buffers
+        )
+        for i, cluster in enumerate(owned):
+            size = int(sizes[i])
+            if size == 0:
+                continue
+            start = int(starts[i])
+            ids = self._list_buffers[cluster][:size]
+            members[start : start + size] = ids
+            base[start : start + size] = self._buf_base[ids]
+            codes[:, start : start + size] = buffers[cluster][:, :size]
+        mapping = publish_payload(
+            self._store,
+            self._share_owner,
+            shard,
+            version,
+            {"members": members, "codes": codes, "base": base},
+        )
+        if self._store is not None and self._unpublish_finalizer is None:
+            self._unpublish_finalizer = weakref.finalize(
+                self, unpublish_owner, weakref.ref(self._store),
+                self._share_owner,
+            )
+        mapping = {
+            **mapping, "owned": owned, "sizes": sizes, "starts": starts,
+        }
+        self._payload_cache[shard] = (version, mapping)
+        return mapping
+
+    def release_shards(self) -> None:
+        """Drop published shard payloads (store segments) eagerly."""
+        self._payload_cache.clear()
+        if self._store is not None:
+            self._store.unpublish(self._share_owner)
 
     def _exact_rerank(
         self,
@@ -930,3 +1498,115 @@ class IVFPQIndex(KNNIndex):
             exact_indices = exact_indices[:, None]
         hits = np.sum(approx[:, :, None] == exact_indices[:, None, :])
         return float(hits) / (len(queries) * k)
+
+
+def _pq_shard_scan(task: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Top-level (picklable) shard task: ADC-scan the owned probed lists.
+
+    Returns the shard's per-query top-``t`` pool ``(est, idx)`` under
+    the (estimate, index) total order.  Every float op here depends
+    only on (query set, list) — the full-batch ``qdot`` einsum, the
+    whole-list accumulations, the fixed :data:`SCAN_ROW_BLOCK` query
+    chunking — never on the shard count, which is what makes the merged
+    result bit-identical for any sharding.
+    """
+    payload = resolve_payload(task["payload"], task["store"], task["owner"])
+    params = task["params"]
+    sub = task["sub"]
+    # Query-side tables arrive sliced to the shard's owned clusters and
+    # are indexed by owned-list position ``li`` below.
+    centroid_cmp = task["centroid_cmp"]
+    rows = task["rows"]
+    clusters = task["clusters"]
+    n = int(params["n"])
+    m = int(params["m"])
+    t = int(params["t"])
+    packed = bool(params["packed"])
+    codebooks = params["codebooks"]
+    precomp = params["precomp"]
+    dtype = resolve_dtype(params["dtype"])
+    owned = payload["owned"]
+    sizes = payload["sizes"]
+    starts = payload["starts"]
+    members = payload["members"]
+    base = payload["base"]
+    codes = payload["codes"]
+    two = dtype.type(2.0)
+    # The ADC tables are built over the full query batch — identical in
+    # every shard (einsum's per-entry reduction order is row-count
+    # independent), so per-list arithmetic cannot drift across shards.
+    qdot = np.einsum("nmd,mkd->nmk", sub, codebooks)
+    order = np.argsort(clusters, kind="stable")
+    boundaries = np.flatnonzero(np.diff(clusters[order])) + 1
+    if packed:
+        # Running per-query pools, exactly as the single-process packed
+        # scan: every reduction in _packed_scan_update is exact under
+        # the (estimate, index) order, so the shard's final pool is the
+        # (estimate, index) top-t of its owned probed lists no matter
+        # how the scan is chunked.
+        top_est = np.full((n, t), np.inf, dtype=dtype)
+        top_idx = np.full((n, t), -1, dtype=np.int64)
+        for segment in np.split(order, boundaries):
+            cluster = int(clusters[segment[0]])
+            li = int(np.searchsorted(owned, cluster))
+            size = int(sizes[li])
+            if size == 0:
+                continue
+            start = int(starts[li])
+            for lo in range(0, len(segment), SCAN_ROW_BLOCK):
+                block = segment[lo : lo + SCAN_ROW_BLOCK]
+                local_rows = rows[block]
+                _packed_scan_update(
+                    qdot[local_rows],
+                    precomp[li],
+                    centroid_cmp[local_rows, li],
+                    codes[:, start : start + size],
+                    members[start : start + size],
+                    local_rows,
+                    top_est,
+                    top_idx,
+                    t,
+                    dtype,
+                )
+        return top_est, top_idx
+    slot_base, width = pair_slots(rows, n, t)
+    pool_est = np.full((n, width), np.inf, dtype=dtype)
+    pool_idx = np.full((n, width), -1, dtype=np.int64)
+    for segment in np.split(order, boundaries):
+        cluster = int(clusters[segment[0]])
+        li = int(np.searchsorted(owned, cluster))
+        size = int(sizes[li])
+        if size == 0:
+            continue
+        start = int(starts[li])
+        seg_members = members[start : start + size]
+        seg_base = base[start : start + size]
+        seg_codes = codes[:, start : start + size]
+        for lo in range(0, len(segment), SCAN_ROW_BLOCK):
+            block = segment[lo : lo + SCAN_ROW_BLOCK]
+            local_rows = rows[block]
+            r = len(local_rows)
+            keep = min(t, size)
+            if seg_codes.dtype == np.uint8:
+                codes_t = unpack_codes_t(seg_codes, m)
+            else:
+                codes_t = seg_codes
+            seg_qdot = qdot[local_rows]
+            acc = np.empty((size, r), dtype=dtype)
+            tmp = np.empty((size, r), dtype=dtype)
+            for j in range(m):
+                table = np.ascontiguousarray(seg_qdot[:, j, :].T)
+                if j == 0:
+                    np.take(table, codes_t[0], axis=0, out=acc)
+                else:
+                    np.take(table, codes_t[j], axis=0, out=tmp)
+                    acc += tmp
+            np.multiply(acc, -two, out=acc)
+            acc += seg_base[:, None]
+            est = np.ascontiguousarray(acc.T)
+            est += centroid_cmp[local_rows, li][:, None]
+            local, local_est = _keep_smallest(est, keep, np.inf)
+            slots = slot_base[block][:, None] + np.arange(keep)
+            pool_est[local_rows[:, None], slots] = local_est
+            pool_idx[local_rows[:, None], slots] = seg_members[local]
+    return select_pool_topk(pool_est, pool_idx, t)

@@ -70,11 +70,21 @@ class ProgressiveOneNN:
         bandit pull sizes is the fastest option).
     knn_backend_options:
         Extra constructor kwargs for the backend (e.g. ``pq_m``,
-        ``pq_nbits``, ``nprobe``, ``rerank`` for "ivf_pq").
+        ``pq_nbits``, ``nprobe``, ``rerank``, ``pq_packed``,
+        ``shards`` for "ivf_pq").
     dtype:
         Compute dtype for the distance arithmetic ("float32" or
         "float64"); ``None`` (default) keeps the strict ``float64``
         path.
+    scan_executor:
+        Optional :class:`~repro.core.engine.ShardedScanExecutor`
+        forwarded to sharded inverted-list backends ("ivf"/"ivf_pq")
+        so their probe scans run on its process pool.  Passed as a
+        separate parameter — not inside ``knn_backend_options`` —
+        because the executor is process-local (never pickled with the
+        options).  ``partial_fit`` appends interact cleanly with the
+        executor: the index routes each appended point to the owning
+        shard and republishes only the touched shard payloads.
     """
 
     def __init__(
@@ -86,6 +96,7 @@ class ProgressiveOneNN:
         knn_backend: str | None = None,
         knn_backend_options: dict | None = None,
         dtype=None,
+        scan_executor=None,
     ):
         # np.array (not asarray): the evaluator owns private copies, so
         # relabel_test can never write through to the caller's arrays.
@@ -105,6 +116,7 @@ class ProgressiveOneNN:
         self.knn_backend = knn_backend
         self.knn_backend_options = dict(knn_backend_options or {})
         self.dtype = dtype
+        self._scan_executor = scan_executor
         self._kernel = make_kernel(metric, test_x, dtype=dtype)
         self._index = None
         self._index_y: np.ndarray | None = None
@@ -117,7 +129,7 @@ class ProgressiveOneNN:
                 knn_backend,
                 metric=metric,
                 dtype=dtype,
-                **self.knn_backend_options,
+                **self._index_options(),
             )
             if index.supports_progressive_append:
                 self._index = index
@@ -133,6 +145,20 @@ class ProgressiveOneNN:
         self._nn_index = np.full(len(test_x), -1, dtype=np.int64)
         self._train_seen = 0
         self.curve: list[CurvePoint] = []
+
+    def _index_options(self) -> dict:
+        """Backend constructor kwargs, with the scan executor injected.
+
+        The executor (and its bound store, for zero-copy shard
+        payloads) rides outside ``knn_backend_options`` so the options
+        mapping stays picklable for process-mode arm specs.
+        """
+        options = dict(self.knn_backend_options)
+        if self._scan_executor is not None:
+            options["scan_executor"] = self._scan_executor
+            if self._scan_executor.store is not None:
+                options.setdefault("store", self._scan_executor.store)
+        return options
 
     @property
     def test_size(self) -> int:
@@ -196,7 +222,7 @@ class ProgressiveOneNN:
                     self.knn_backend,
                     metric=self.metric,
                     dtype=self.dtype,
-                    **self.knn_backend_options,
+                    **self._index_options(),
                 )
                 index.fit(batch_x, batch_y)
                 nn_dist, nn_idx = index.kneighbors(self._test_x, k=1)

@@ -1,0 +1,209 @@
+"""Deterministic sharded scanning of inverted lists.
+
+Shared plumbing for the parallel ANN tier: both :class:`~repro.knn.pq.
+IVFPQIndex` and :class:`~repro.knn.ivf.IVFFlatIndex` split a query
+batch's probed lists across shards (cluster ``c`` belongs to shard
+``c % shards``) and run one scan task per shard, either inline or
+through a :class:`~repro.core.engine.ShardedScanExecutor`.
+
+Bit-identical results for any shard count — including 1 — rest on
+three invariants the helpers here encode:
+
+1. **Whole-list ownership.**  A probed list is scanned entirely by one
+   shard, and the per-(query, list) candidate arithmetic is computed
+   over the *same* row set regardless of how many shards exist — so
+   every estimate is numerically identical across shard counts.
+2. **A total order.**  Shard-local pools and the coordinator's merge
+   both select by the lexicographic ``(estimate, member index)`` order
+   (:func:`select_pool_topk`) — the "k-way distance heap with
+   deterministic index tie-break".  Because each shard keeps its local
+   top-``t`` under the same total order, the global top-``t`` is a
+   subset of the union of shard pools, so the merge loses nothing.
+   The packed fast-scan strengthens this from per-list determinism to
+   full order-independence: its running-threshold pruning only ever
+   drops entries whose estimate is *strictly* above the pool's t-th
+   best (a conservative integer bound with rounding slack), and every
+   merge is an exact lexicographic selection, so each shard's pool is
+   exactly the (estimate, index) top-``t`` of its lists no matter how
+   the scan is chunked or ordered.
+3. **Zero-copy payloads.**  List payloads cross process boundaries as
+   :class:`~repro.transforms.store.SharedArrayRef` blocks published
+   into the PR 7 :class:`~repro.transforms.store.EmbeddingStore` hot
+   tier (:func:`publish_payload` / :func:`resolve_payload`); when the
+   store cannot share, the raw arrays ship through pickle instead —
+   slower, same results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.transforms.store import SharedArrayRef
+
+#: Fixed query-row block for per-cluster scans.  Chunking by a constant
+#: (never by pool/shard geometry) keeps BLAS/einsum operand shapes —
+#: and therefore float summation order — independent of the shard count.
+SCAN_ROW_BLOCK = 4096
+
+
+def shard_of(clusters: np.ndarray, shards: int) -> np.ndarray:
+    """Owning shard of each cluster id (round-robin by cluster)."""
+    return np.asarray(clusters) % int(shards)
+
+
+def owned_clusters(nlist: int, shard: int, shards: int) -> np.ndarray:
+    """Cluster ids owned by ``shard`` (ascending)."""
+    return np.arange(shard, nlist, shards, dtype=np.int64)
+
+
+def probe_pairs(
+    probe_order: np.ndarray, depth: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-query probe lists into aligned (row, cluster) pairs.
+
+    ``rows`` is ascending (pairs are grouped by query); within a query
+    the clusters appear in probe order.  Both indexes derive their scan
+    schedule from these pairs, so the per-list row sets — and hence the
+    arithmetic — are fixed before any shard split happens.
+    """
+    probe_order = np.asarray(probe_order)
+    depth = np.asarray(depth, dtype=np.int64)
+    n, width = probe_order.shape
+    mask = np.arange(width)[None, :] < depth[:, None]
+    rows = np.repeat(np.arange(n, dtype=np.int64), depth)
+    clusters = probe_order[mask].astype(np.int64, copy=False)
+    return rows, clusters
+
+
+def pair_slots(
+    rows: np.ndarray, n: int, stride: int
+) -> tuple[np.ndarray, int]:
+    """Pool slot base per (query, probe) pair, ``stride`` slots each.
+
+    Returns ``(bases, width)`` where ``width`` is the pool column count
+    (max pairs of any query times ``stride``).  ``rows`` must be
+    ascending, as produced by :func:`probe_pairs` (possibly filtered by
+    a shard mask, which preserves order).
+    """
+    if len(rows) == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    counts = np.bincount(rows, minlength=n)
+    starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+    ordinal = np.arange(len(rows), dtype=np.int64) - starts[rows]
+    return ordinal * stride, int(counts.max()) * stride
+
+
+def select_pool_topk(
+    est: np.ndarray, idx: np.ndarray, keep: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-``keep`` of a candidate pool under (est, index) order.
+
+    The one selection rule of the sharded tier: primary key estimate,
+    secondary key member index — a strict total order over real
+    candidates (indexes are unique within a query's pool), so the
+    result is independent of how the pool columns were arranged and
+    therefore of the shard count.  Unfilled slots (``est=inf``,
+    ``idx=-1``) sort last and only appear when a query probed fewer
+    than ``keep`` candidates.
+    """
+    keep = min(int(keep), est.shape[1])
+    if keep <= 0:
+        empty = np.zeros((est.shape[0], 0))
+        return empty, empty.astype(np.int64)
+    order = np.lexsort((idx, est), axis=1)[:, :keep]
+    return (
+        np.take_along_axis(est, order, axis=1),
+        np.take_along_axis(idx, order, axis=1),
+    )
+
+
+def merge_shard_pools(
+    pools: list[tuple[np.ndarray, np.ndarray]], keep: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard (est, idx) pools into the global top-``keep``."""
+    est = np.concatenate([p[0] for p in pools], axis=1)
+    idx = np.concatenate([p[1] for p in pools], axis=1)
+    return select_pool_topk(est, idx, keep)
+
+
+# ----------------------------------------------------------------------
+# Payload transport: publish in the coordinator, resolve in the worker
+# ----------------------------------------------------------------------
+
+
+def publish_payload(store, owner: str, shard: int, version: int,
+                    arrays: dict) -> dict:
+    """Publish one shard's payload arrays; refs where possible.
+
+    Returns a mapping with each array replaced by a
+    :class:`SharedArrayRef` when the store accepted it, or left as the
+    raw array otherwise (mixed mappings are fine — workers resolve refs
+    and pass raw arrays through).  Publishing is versioned per
+    ``(owner, (shard, name))`` slot, so appends republish only the
+    shards they touched and stale segments are unlinked eagerly.
+    """
+    mapping = {}
+    can_publish = (
+        store is not None and store.can_share_arrays and not store.is_handle
+    )
+    for name, array in arrays.items():
+        ref = None
+        if can_publish:
+            ref = store.publish_block(
+                owner, (int(shard), name), array, version=int(version)
+            )
+        mapping[name] = ref if ref is not None else array
+    return mapping
+
+
+def resolve_payload(payload: dict, store, owner: str) -> dict:
+    """Materialize a shard task's payload mapping into arrays.
+
+    Tasks ship the store itself: pickling turns it into an attach
+    handle (``EmbeddingStore.__reduce__``), deduped per worker process,
+    while inline execution hands the owning store straight through —
+    refs then resolve from its pinned entries.  Worker handles
+    additionally drop cached attaches of superseded payload versions
+    (:meth:`EmbeddingStore.forget_attached`), so long-lived pools don't
+    pin one stale mapping per republish.
+    """
+    refs = {
+        name: value
+        for name, value in payload.items()
+        if isinstance(value, SharedArrayRef)
+    }
+    if not refs:
+        return dict(payload)
+    if store is None:
+        raise DataValidationError(
+            "shard payload carries shared refs but no store"
+        )
+    resolved = dict(payload)
+    for name, ref in refs.items():
+        array = store.resolve_array(ref)
+        if array is None:
+            raise DataValidationError(
+                f"shard payload block {name!r} is gone "
+                "(store closed or segment unlinked)"
+            )
+        resolved[name] = array
+    if store.is_handle:
+        store.forget_attached(owner, keep=[ref.key for ref in refs.values()])
+    return resolved
+
+
+def unpublish_owner(store_ref, owner: str) -> None:
+    """`weakref.finalize` callback: release an index's publications.
+
+    Bound by the index at first publication with a weak store ref, so a
+    garbage-collected index (e.g. the per-batch rebuilds of a
+    non-appending progressive evaluator) frees its segments without
+    waiting for the store's own close.
+    """
+    store = store_ref()
+    if store is not None:
+        try:
+            store.unpublish(owner)
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass

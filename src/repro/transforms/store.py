@@ -343,12 +343,24 @@ def _write_spill(directory: str, file_id: str, array: np.ndarray) -> int:
     return 12 + len(header) + len(payload)
 
 
-def _read_spill(directory: str, file_id: str) -> np.ndarray | None:
+def _read_spill(
+    directory: str, file_id: str, memmap: bool = False
+) -> np.ndarray | None:
     """Read + verify one spill file; corrupt/truncated files are removed.
 
     The digest check requires touching every payload byte once — the
     price of guaranteeing a torn, truncated or bit-flipped file is
     reported as a miss (recompute) instead of serving garbage.
+
+    With ``memmap=True`` the payload is returned as a read-only
+    :class:`numpy.memmap` at the payload offset and the digest check is
+    skipped: the caller promises the same file was digest-verified on an
+    earlier read this session (spill files are replaced atomically, so
+    the bytes behind a given id are either the verified ones or a
+    complete newer write).  Mapped pages are file-backed — the OS shares
+    one physical copy across every process mapping the block and evicts
+    clean pages under pressure, so 10M-point shards page in without
+    doubling RSS.
     """
     path = _spill_path(directory, file_id)
     try:
@@ -359,6 +371,14 @@ def _read_spill(directory: str, file_id: str) -> np.ndarray | None:
             meta = json.loads(fh.read(length))
             dtype = np.dtype(meta["dtype"])
             shape = tuple(meta["shape"])
+            if memmap and int(np.prod(shape)) > 0:
+                offset = 12 + length
+                expected = offset + int(np.prod(shape)) * dtype.itemsize
+                if os.fstat(fh.fileno()).st_size != expected:
+                    raise ValueError("truncated payload")
+                return np.memmap(
+                    path, dtype=dtype, mode="r", offset=offset, shape=shape
+                )
             payload = fh.read()
         if len(payload) != int(np.prod(shape)) * dtype.itemsize:
             raise ValueError("truncated payload")
@@ -578,6 +598,11 @@ class EmbeddingStore:
         # id(array) -> (SharedArrayRef, weakref): re-sharing a resolved
         # or already-shared array is O(1), never a re-digest.
         self._shared_refs: dict[int, tuple[SharedArrayRef, weakref.ref]] = {}
+        # publish_block bookkeeping: (owner, key) -> (version, cache key).
+        self._published: dict[tuple, tuple[int, tuple]] = {}
+        # Spill files promoted at least once this session: their payload
+        # digest has been verified, so later promotes may memmap.
+        self._spill_promoted: set[str] = set()
         # Spill index: file id -> bytes on disk (LRU by access).
         self.store_dir: str | None = None
         self._spill_index: "OrderedDict[str, int]" = OrderedDict()
@@ -798,6 +823,92 @@ class EmbeddingStore:
             for entry in self._pinned.values():
                 self._free_entry(entry)
             self._pinned.clear()
+            self._published.clear()
+
+    def publish_block(
+        self, owner: str, key, array: np.ndarray, version: int = 0
+    ) -> SharedArrayRef | None:
+        """Pin a caller-owned array as a named, versioned shared block.
+
+        The sharded-scan tier publishes inverted-list payloads this way:
+        each ``(owner, key)`` slot holds exactly one live version, and
+        the version number is folded into the segment name — a republish
+        with a newer version gets a *fresh* segment while the old slot's
+        name is unlinked immediately, so a worker that cached an attach
+        for the previous version can never be served stale bytes under
+        the new ref (its old mapping stays valid until its views die,
+        per the usual segment lifetime rules).  Republishing the same
+        ``(owner, key, version)`` is an idempotent no-op returning the
+        existing ref.  Pinned publications live outside the LRU budget
+        and are released by :meth:`unpublish`, :meth:`release_shared`
+        or :meth:`close`.  Returns ``None`` when the store cannot share
+        (callers then ship the raw array instead).
+        """
+        with self._lock:
+            if not _SHM_AVAILABLE or not self._shared or self._attached_mode:
+                return None
+            slot = (owner, key)
+            previous = self._published.get(slot)
+            if previous is not None:
+                prev_version, prev_key = previous
+                entry = self._pinned.get(prev_key)
+                if prev_version == int(version) and entry is not None:
+                    return SharedArrayRef(
+                        prev_key,
+                        tuple(entry.array.shape),
+                        entry.array.dtype.str,
+                    )
+                if entry is not None:
+                    self._free_entry(self._pinned.pop(prev_key))
+                self._published.pop(slot, None)
+            array = np.ascontiguousarray(array)
+            cache_key = (f"{_AUX_PREFIX}{owner}", (key, int(version)))
+            name = self._segment_name(cache_key)
+            try:
+                segment, view = _write_segment(name, array)
+            except (OSError, ValueError, DataValidationError):
+                return None
+            self._cleanup["owned"][name] = segment
+            self._pinned[cache_key] = _HotBlock(
+                view, segment=segment, name=name, owned=True
+            )
+            self._published[slot] = (int(version), cache_key)
+            return SharedArrayRef(
+                cache_key, tuple(array.shape), array.dtype.str
+            )
+
+    def unpublish(self, owner: str) -> int:
+        """Release every :meth:`publish_block` slot of ``owner``.
+
+        Returns the number of slots released.  Safe to call on a store
+        that never published (or already released): a no-op then.
+        """
+        with self._lock:
+            slots = [s for s in self._published if s[0] == owner]
+            for slot in slots:
+                _, cache_key = self._published.pop(slot)
+                entry = self._pinned.pop(cache_key, None)
+                if entry is not None:
+                    self._free_entry(entry)
+            return len(slots)
+
+    def forget_attached(self, owner: str, keep=()) -> None:
+        """Drop cached attaches of ``owner``'s publications (workers).
+
+        Versioned republication gives every new payload a fresh segment
+        name; without pruning, a long-lived worker would pin one stale
+        mapping per superseded version.  Called by shard-scan tasks
+        after resolving their refs, keeping only the keys in ``keep``.
+        """
+        token = f"{_AUX_PREFIX}{owner}"
+        keep = set(keep)
+        with self._lock:
+            stale = [
+                k for k in self._attached_blocks
+                if k[0] == token and k not in keep
+            ]
+            for k in stale:
+                self._free_entry(self._attached_blocks.pop(k))
 
     def enable_sharing(self) -> None:
         """Back the hot tier with named shared-memory segments.
@@ -1013,6 +1124,12 @@ class EmbeddingStore:
         return entry.array
 
     def _make_hot_entry(self, key, array: np.ndarray) -> _HotBlock:
+        if isinstance(array, np.memmap):
+            # A promoted-again spill block: copying it into a shared
+            # segment would materialize the pages it exists to avoid.
+            # Keep it process-local; siblings memmap the same file and
+            # share the single page-cache copy.
+            return _HotBlock(array)
         if self._shared and not self._attached_mode and _SHM_AVAILABLE:
             name = self._segment_name(key)
             try:
@@ -1107,19 +1224,35 @@ class EmbeddingStore:
                 pass
 
     def _load_spilled(self, key) -> np.ndarray | None:
-        """Read one block from the spill tier (digest-verified)."""
+        """Read one block from the spill tier.
+
+        A block's *first* promote this session copies and digest-verifies
+        the payload; blocks hotter than one promote come back as
+        read-only memmaps instead — no second verification pass, no
+        second RSS copy, and (because :meth:`_make_hot_entry` keeps
+        memmaps process-local) one OS page-cache copy shared by every
+        worker that pages in the same shard file.
+        """
         if self.store_dir is None:
             return None
         file_id = self._block_id(key)
-        array = _read_spill(self.store_dir, file_id)
+        with self._lock:
+            verified = file_id in self._spill_promoted
+        array = _read_spill(self.store_dir, file_id, memmap=verified)
+        if array is None and verified:
+            # Memmap open failed (file evicted/replaced mid-read): fall
+            # back to the verifying copy path before declaring a miss.
+            array = _read_spill(self.store_dir, file_id)
         with self._lock:
             if array is None:
+                self._spill_promoted.discard(file_id)
                 # Possibly corrupt-and-removed: drop a stale index entry.
                 size = self._spill_index.pop(file_id, None)
                 if size is not None:
                     self._spill_used -= size
                 return None
             self._spill_hits += 1
+            self._spill_promoted.add(file_id)
             if file_id in self._spill_index:
                 self._spill_index.move_to_end(file_id)
             else:

@@ -1,0 +1,351 @@
+"""Parity suite for the packed fast-scan and sharded inverted-list tier.
+
+The contract under test (see :mod:`repro.knn.sharding`): sharded scans
+are **bit-identical** — distances AND indices — to the single-process
+scan for any shard count including 1, across dtypes, probe depths, the
+packed and unpacked code layouts, and the append/``partial_fit`` path;
+and the packed fast-scan is bit-compatible with the float ADC path in
+the full-keep regime (every probed candidate exactly re-ranked).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ShardedScanExecutor, default_max_workers
+from repro.exceptions import DataValidationError
+from repro.knn.base import make_index
+from repro.knn.ivf import IVFFlatIndex
+from repro.knn.pq import (
+    IVFPQIndex,
+    pack_codes_t,
+    unpack_codes_t,
+)
+from repro.knn.sharding import select_pool_topk
+from repro.transforms.store import EmbeddingStore
+
+pytestmark = pytest.mark.ann
+
+
+def _corpus(seed=0, n=900, dim=16, dtype="float32"):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=6.0, size=(12, dim))
+    assignment = rng.integers(0, 12, size=n)
+    x = (centers[assignment] + rng.normal(size=(n, dim))).astype(dtype)
+    y = assignment % 4
+    queries = (
+        centers[rng.integers(0, 12, size=80)] + rng.normal(size=(80, dim))
+    ).astype(dtype)
+    return x, y, queries
+
+
+class TestPackedCodes:
+    def test_pack_unpack_roundtrip(self, rng):
+        for m in (1, 2, 3, 8, 15):
+            codes_t = rng.integers(0, 16, size=(m, 37)).astype(np.uint8)
+            packed = pack_codes_t(codes_t)
+            assert packed.shape == ((m + 1) // 2, 37)
+            assert packed.dtype == np.uint8
+            np.testing.assert_array_equal(
+                unpack_codes_t(packed, m), codes_t
+            )
+
+    def test_packed_shrinks_scan_index(self):
+        x, y, _ = _corpus()
+        packed = IVFPQIndex(
+            nlist=8, pq_m=8, pq_nbits=4, pq_packed=True, seed=0
+        ).fit(x, y)
+        plain = IVFPQIndex(nlist=8, pq_m=8, pq_nbits=4, seed=0).fit(x, y)
+        stats_packed = packed.memory_stats()
+        stats_plain = plain.memory_stats()
+        # Two 4-bit codes per byte vs one intp word per code: the scan-
+        # path footprint shrinks by the word size times two.
+        assert (
+            stats_packed["scan_index_bytes"]
+            <= stats_plain["scan_index_bytes"] / 8
+        )
+
+    def test_packed_requires_nbits_4(self):
+        with pytest.raises(DataValidationError, match="pq_packed"):
+            IVFPQIndex(pq_nbits=8, pq_packed=True)
+
+    def test_nbits_must_be_4_or_8(self):
+        with pytest.raises(DataValidationError, match="nbits must be 4"):
+            IVFPQIndex(pq_nbits=6)
+
+
+class TestPackedFastScanParity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        dtype=st.sampled_from(["float32", "float64"]),
+        nprobe=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_full_keep_bit_compatible_with_float_adc(
+        self, dtype, nprobe, seed
+    ):
+        """rerank >= corpus: both layouts re-rank every probed candidate,
+        so the packed fast-scan must reproduce the float ADC results
+        bit for bit."""
+        x, y, queries = _corpus(seed=seed, dtype=dtype)
+        kwargs = dict(
+            nlist=8, nprobe=nprobe, pq_m=8, pq_nbits=4,
+            rerank=len(x), seed=seed, dtype=dtype,
+        )
+        plain = IVFPQIndex(**kwargs).fit(x, y)
+        packed = IVFPQIndex(pq_packed=True, **kwargs).fit(x, y)
+        d0, i0 = plain.kneighbors(queries, k=3)
+        d1, i1 = packed.kneighbors(queries, k=3)
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(d0, d1)
+
+    def test_packed_without_rerank_falls_back_to_float_adc(self):
+        """rerank=0 cannot keep the quantized-estimate guarantees, so
+        the packed index must produce the float ADC path's results
+        (unpacking on the fly) rather than quantized estimates."""
+        x, y, queries = _corpus()
+        kwargs = dict(nlist=8, nprobe=4, pq_m=8, pq_nbits=4, rerank=0, seed=0)
+        plain = IVFPQIndex(**kwargs).fit(x, y)
+        packed = IVFPQIndex(pq_packed=True, **kwargs).fit(x, y)
+        assert not packed._use_packed_scan
+        d0, i0 = plain.kneighbors(queries, k=3)
+        d1, i1 = packed.kneighbors(queries, k=3)
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(d0, d1)
+
+    def test_packed_1nn_agreement_at_modest_rerank(self):
+        """At practical re-rank depths the packed scan is allowed to
+        select different semifinalists, but the re-ranked 1NN answer
+        should still agree almost everywhere."""
+        x, y, queries = _corpus(n=2000)
+        kwargs = dict(
+            nlist=16, nprobe=6, pq_m=8, pq_nbits=4, rerank=32, seed=0
+        )
+        plain = IVFPQIndex(**kwargs).fit(x, y)
+        packed = IVFPQIndex(pq_packed=True, **kwargs).fit(x, y)
+        _, i0 = plain.kneighbors(queries, k=1)
+        _, i1 = packed.kneighbors(queries, k=1)
+        assert np.mean(i0[:, 0] == i1[:, 0]) >= 0.95
+
+
+class TestShardedScanBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        dtype=st.sampled_from(["float32", "float64"]),
+        nprobe=st.integers(min_value=2, max_value=8),
+        packed=st.booleans(),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_ivf_pq_shard_counts_bit_identical(
+        self, dtype, nprobe, packed, seed
+    ):
+        x, y, queries = _corpus(seed=seed, dtype=dtype)
+        kwargs = dict(
+            nlist=12, nprobe=nprobe, pq_m=8, pq_nbits=4,
+            rerank=24, seed=seed, dtype=dtype, pq_packed=packed,
+        )
+        results = {}
+        for shards in (1, 2, 4):
+            index = IVFPQIndex(shards=shards, **kwargs).fit(x, y)
+            results[shards] = index.kneighbors(queries, k=3)
+        for shards in (2, 4):
+            np.testing.assert_array_equal(
+                results[1][1], results[shards][1]
+            )
+            np.testing.assert_array_equal(
+                results[1][0], results[shards][0]
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        dtype=st.sampled_from(["float32", "float64"]),
+        nprobe=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_ivf_flat_shard_counts_bit_identical(self, dtype, nprobe, seed):
+        x, y, queries = _corpus(seed=seed, dtype=dtype)
+        # Duplicated rows force exact distance ties: the (distance,
+        # index) total order must resolve them identically everywhere.
+        x = np.concatenate([x, x[:100]])
+        y = np.concatenate([y, y[:100]])
+        results = {}
+        for shards in (1, 2, 4):
+            index = IVFFlatIndex(
+                nlist=12, nprobe=nprobe, seed=seed, dtype=dtype,
+                shards=shards,
+            ).fit(x, y)
+            results[shards] = index.kneighbors(queries, k=5)
+        for shards in (2, 4):
+            np.testing.assert_array_equal(
+                results[1][1], results[shards][1]
+            )
+            np.testing.assert_array_equal(
+                results[1][0], results[shards][0]
+            )
+
+    def test_partial_fit_appends_route_to_owning_shard(self):
+        """Identical fit+append sequences give bit-identical results for
+        every shard count, even when the append duplicates points
+        (exact distance ties)."""
+        x, y, queries = _corpus(n=1200)
+        results = {}
+        for shards in (1, 2, 3):
+            index = IVFPQIndex(
+                nlist=12, nprobe=5, pq_m=8, pq_nbits=4, rerank=24,
+                seed=1, pq_packed=True, shards=shards,
+            ).fit(x[:900], y[:900])
+            index.partial_fit(x[900:], y[900:])
+            index.partial_fit(x[:150], y[:150])  # duplicates -> ties
+            results[shards] = index.kneighbors(queries, k=3)
+        for shards in (2, 3):
+            np.testing.assert_array_equal(
+                results[1][1], results[shards][1]
+            )
+            np.testing.assert_array_equal(
+                results[1][0], results[shards][0]
+            )
+
+    def test_make_index_rejects_shard_options_elsewhere(self):
+        with pytest.raises(DataValidationError, match="shards"):
+            make_index("brute_force", shards=2)
+        with pytest.raises(DataValidationError, match="pq_packed"):
+            make_index("ivf", pq_packed=True)
+        index = make_index("ivf_pq", shards=2, pq_nbits=4, pq_packed=True)
+        assert index.shards == 2
+
+    def test_select_pool_topk_total_order(self):
+        est = np.array([[3.0, 1.0, 1.0, np.inf, 2.0]])
+        idx = np.array([[7, 9, 4, -1, 5]])
+        top_est, top_idx = select_pool_topk(est, idx, 3)
+        np.testing.assert_array_equal(top_est, [[1.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(top_idx, [[4, 9, 5]])
+
+
+class TestShardedExecutorAndStore:
+    def test_executor_scan_bit_identical_and_leak_free(self, shard_leak_guard):
+        x, y, queries = _corpus(n=1500)
+        ref = IVFPQIndex(
+            nlist=12, nprobe=5, pq_m=8, pq_nbits=4, rerank=24, seed=1,
+            pq_packed=True,
+        ).fit(x, y)
+        d0, i0 = ref.kneighbors(queries, k=3)
+        store = EmbeddingStore()
+        store.enable_sharing()
+        try:
+            with ShardedScanExecutor(store=store, max_workers=2) as executor:
+                index = IVFPQIndex(
+                    nlist=12, nprobe=5, pq_m=8, pq_nbits=4, rerank=24,
+                    seed=1, pq_packed=True, shards=2,
+                    scan_executor=executor, store=store,
+                ).fit(x, y)
+                d1, i1 = index.kneighbors(queries, k=3)
+                index.partial_fit(x[:200], y[:200])
+                ref.partial_fit(x[:200], y[:200])
+                d2, i2 = index.kneighbors(queries, k=3)
+                d3, i3 = ref.kneighbors(queries, k=3)
+                index.release_shards()
+        finally:
+            store.release_shared()
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(d0, d1)
+        np.testing.assert_array_equal(i3, i2)
+        np.testing.assert_array_equal(d3, d2)
+
+    def test_flat_executor_scan_bit_identical(self, shard_leak_guard):
+        x, y, queries = _corpus(n=1500)
+        ref = IVFFlatIndex(nlist=12, nprobe=5, seed=1).fit(x, y)
+        d0, i0 = ref.kneighbors(queries, k=4)
+        store = EmbeddingStore()
+        store.enable_sharing()
+        try:
+            with ShardedScanExecutor(store=store, max_workers=2) as executor:
+                index = IVFFlatIndex(
+                    nlist=12, nprobe=5, seed=1, shards=2,
+                    scan_executor=executor, store=store,
+                ).fit(x, y)
+                d1, i1 = index.kneighbors(queries, k=4)
+                index.release_shards()
+        finally:
+            store.release_shared()
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(d0, d1)
+
+    def test_exception_path_leaves_no_orphan_segments(self, shard_leak_guard):
+        """Publications are freed even when the scan dies mid-flight:
+        release_shared in the teardown must unlink published shard
+        payloads, and the leak guard sees the /dev/shm delta."""
+        x, y, queries = _corpus(n=1000)
+        store = EmbeddingStore()
+        store.enable_sharing()
+        try:
+            index = IVFPQIndex(
+                nlist=12, nprobe=5, pq_m=8, pq_nbits=4, rerank=24,
+                seed=1, pq_packed=True, shards=2, store=store,
+            ).fit(x, y)
+            index.kneighbors(queries, k=3)  # publishes shard payloads
+            with pytest.raises(DataValidationError):
+                index.kneighbors(queries[:, :4], k=3)  # dim mismatch
+        finally:
+            store.release_shared()
+
+    def test_index_finalizer_unpublishes(self, shard_leak_guard):
+        """A garbage-collected index (the per-batch rebuild pattern)
+        frees its publications without an explicit release call."""
+        import gc
+
+        x, y, queries = _corpus(n=1000)
+        store = EmbeddingStore()
+        store.enable_sharing()
+        try:
+            index = IVFFlatIndex(
+                nlist=12, nprobe=5, seed=1, shards=2, store=store
+            ).fit(x, y)
+            index.kneighbors(queries, k=3)
+            assert store.stats.current_bytes >= 0
+            del index
+            gc.collect()
+        finally:
+            store.release_shared()
+
+    def test_progressive_scan_executor_matches_inline(self):
+        """ProgressiveOneNN with a scan executor reproduces the inline
+        sharded evaluator's curve exactly (partial_fit path included)."""
+        from repro.knn.progressive import ProgressiveOneNN
+
+        x, y, queries = _corpus(n=1200)
+        qy = np.arange(len(queries)) % 4
+        options = dict(
+            nlist=12, nprobe=5, pq_m=8, pq_nbits=4, rerank=24, seed=1,
+            pq_packed=True, shards=2,
+        )
+        inline = ProgressiveOneNN(
+            queries, qy, knn_backend="ivf_pq", knn_backend_options=options
+        )
+        store = EmbeddingStore()
+        store.enable_sharing()
+        try:
+            with ShardedScanExecutor(store=store, max_workers=2) as executor:
+                pooled = ProgressiveOneNN(
+                    queries, qy, knn_backend="ivf_pq",
+                    knn_backend_options=options, scan_executor=executor,
+                )
+                for start in range(0, 1200, 400):
+                    e0 = inline.partial_fit(
+                        x[start:start + 400], y[start:start + 400]
+                    )
+                    e1 = pooled.partial_fit(
+                        x[start:start + 400], y[start:start + 400]
+                    )
+                    assert e0 == e1
+                np.testing.assert_array_equal(
+                    inline.nearest_indices, pooled.nearest_indices
+                )
+        finally:
+            store.release_shared()
+
+    @pytest.mark.skipif(
+        default_max_workers() < 2, reason="single-core container"
+    )
+    def test_executor_uses_multiple_workers(self):
+        assert default_max_workers() > 1

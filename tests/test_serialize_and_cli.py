@@ -216,7 +216,8 @@ class TestCLIAnnBackend:
         code = main([
             "study", "cifar10", "--target", "0.9",
             "--scale", "0.005", "--max-embeddings", "3",
-            "--knn-backend", "ivf_pq", "--pq-m", "4", "--pq-nbits", "6",
+            "--knn-backend", "ivf_pq", "--pq-m", "4", "--pq-nbits", "4",
+            "--pq-packed", "--knn-shards", "2",
             "--nprobe", "4", "--rerank", "16",
         ])
         assert code == 0
